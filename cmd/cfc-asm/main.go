@@ -1,0 +1,73 @@
+// Command cfc-asm assembles guest assembly into the flat binary format the
+// translator consumes, and disassembles binaries back to text.
+//
+// Usage:
+//
+//	cfc-asm -o prog.bin prog.s          # assemble
+//	cfc-asm -d -entry 0 -data 0 prog.bin  # disassemble
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "", "output file (default: stdout for -d, a.bin otherwise)")
+		dis   = flag.Bool("d", false, "disassemble a binary instead of assembling")
+		entry = flag.Uint("entry", 0, "entry address for -d")
+		data  = flag.Uint("data", 4096, "data segment words for -d")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cfc-asm [-d] [-o out] file")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dis {
+		p, err := isa.LoadImage(in, src, uint32(*entry), uint32(*data))
+		if err != nil {
+			fatal(err)
+		}
+		text := core.Disassemble(p)
+		if *out == "" {
+			fmt.Print(text)
+			return
+		}
+		fatalIf(os.WriteFile(*out, []byte(text), 0o644))
+		return
+	}
+
+	p, err := core.Assemble(in, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = "a.bin"
+	}
+	fatalIf(os.WriteFile(dst, p.Image(), 0o644))
+	fmt.Printf("%s: %d instructions, entry 0x%x, data %d words -> %s\n",
+		p.Name, p.Len(), p.Entry, p.DataWords, dst)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfc-asm:", err)
+	os.Exit(1)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Command cfc-errmodel regenerates the paper's Figure 2 (branch-error
+// probability tables for SPEC-Int and SPEC-Fp) and Figure 3 (probabilities
+// normalized over the silent-data-corruption categories A-E).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/errmodel"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 1.0, "workload dynamic scale")
+		workload = flag.String("workload", "", "analyze a single workload instead of both suites")
+	)
+	flag.Parse()
+
+	if *workload != "" {
+		p, err := core.Workload(*workload, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := core.AnalyzeErrors(p, bench.DefaultMaxSteps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(errmodel.FormatFigure2("Branch-error probabilities: "+*workload, t))
+		fmt.Println()
+		fmt.Print(errmodel.FormatFigure3("Normalized: "+*workload, t))
+		return
+	}
+
+	intTab, fpTab, err := bench.Figure2(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(errmodel.FormatFigure2("Figure 2 — SPEC-Int 2000", intTab))
+	fmt.Println()
+	fmt.Print(errmodel.FormatFigure2("Figure 2 — SPEC-Fp 2000", fpTab))
+	fmt.Println()
+	fmt.Print(errmodel.FormatFigure3("Figure 3 — SPEC-Int 2000", intTab))
+	fmt.Println()
+	fmt.Print(errmodel.FormatFigure3("Figure 3 — SPEC-Fp 2000", fpTab))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfc-errmodel:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Command cfc-inject runs soft-error injection campaigns: single bit flips
+// in branch offsets or condition flags, per the paper's error model, with
+// outcomes classified by branch-error category. The -matrix mode compares
+// every technique (including the static CFCSS/ECCA baselines) side by side
+// — the empirical counterpart of the paper's Section 3 coverage analysis
+// and its stated future work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/inject"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "164.gzip", "workload name")
+		scale    = flag.Float64("scale", 0.1, "workload dynamic scale")
+		tech     = flag.String("technique", "RCF", "none|EdgCF|RCF|ECF")
+		style    = flag.String("style", "CMOVcc", "Jcc|CMOVcc")
+		policy   = flag.String("policy", "ALLBB", "ALLBB|RET-BE|RET|END")
+		samples  = flag.Int("samples", 500, "number of injected faults")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+		matrix   = flag.Bool("matrix", false, "run the full coverage matrix instead")
+	)
+	flag.Parse()
+
+	if *matrix {
+		reports, err := bench.CoverageMatrix(bench.CoverageConfig{
+			Scale:   *scale,
+			Samples: *samples,
+			Seed:    *seed,
+		})
+		fatalIf(err)
+		fmt.Print(bench.FormatCoverageMatrix(reports))
+		return
+	}
+
+	p, err := core.Workload(*workload, *scale)
+	fatalIf(err)
+	rep, err := core.Inject(p, core.Config{Technique: *tech, Style: *style, Policy: *policy}, *samples, *seed)
+	fatalIf(err)
+	fmt.Print(inject.FormatReport(rep))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfc-inject:", err)
+		os.Exit(1)
+	}
+}

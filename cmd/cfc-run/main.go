@@ -1,0 +1,94 @@
+// Command cfc-run executes a workload (or assembled binary) natively or
+// under the dynamic binary translator with a chosen control-flow checking
+// configuration, reporting cycles, output and translator statistics.
+//
+// Usage:
+//
+//	cfc-run -workload 181.mcf -technique RCF -policy ALLBB
+//	cfc-run -bin prog.bin -native
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "SPEC2000 workload name (e.g. 164.gzip)")
+		bin      = flag.String("bin", "", "binary file to run instead of a workload")
+		entry    = flag.Uint("entry", 0, "entry address for -bin")
+		data     = flag.Uint("data", 4096, "data segment words for -bin")
+		scale    = flag.Float64("scale", 1.0, "workload dynamic scale")
+		native   = flag.Bool("native", false, "run natively (no translator)")
+		tech     = flag.String("technique", "none", "none|EdgCF|RCF|ECF")
+		style    = flag.String("style", "Jcc", "Jcc|CMOVcc")
+		policy   = flag.String("policy", "ALLBB", "ALLBB|RET-BE|RET|END")
+		maxSteps = flag.Uint64("max-steps", 2_000_000_000, "step budget")
+		list     = flag.Bool("list", false, "list workload names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range core.WorkloadNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var p *isa.Program
+	var err error
+	switch {
+	case *workload != "":
+		p, err = core.Workload(*workload, *scale)
+	case *bin != "":
+		var img []byte
+		img, err = os.ReadFile(*bin)
+		if err == nil {
+			p, err = isa.LoadImage(*bin, img, uint32(*entry), uint32(*data))
+		}
+	default:
+		err = fmt.Errorf("need -workload or -bin (try -list)")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *native {
+		res := core.RunNative(p, *maxSteps)
+		fmt.Printf("native: stop=%v cycles=%d steps=%d output=%v\n",
+			res.Stop, res.Cycles, res.Steps, res.Output)
+		exitFor(res.Stop)
+		return
+	}
+
+	d, err := core.NewDBT(p, core.Config{Technique: *tech, Style: *style, Policy: *policy})
+	if err != nil {
+		fatal(err)
+	}
+	res := d.Run(nil, *maxSteps)
+	fmt.Printf("dbt(%s/%s/%s): stop=%v cycles=%d steps=%d\n",
+		*tech, *style, *policy, res.Stop, res.Cycles, res.Steps)
+	fmt.Printf("output: %v\n", res.Output)
+	st := res.Stats
+	fmt.Printf("translator: %d blocks (%d guest instrs), %d traces, %d dispatches, %d indirect lookups, cache %d instrs\n",
+		st.BlocksTranslated, st.GuestInstrsTranslated, st.TracesFormed,
+		st.Dispatches, st.IndirectLookups, res.CacheSize)
+	exitFor(res.Stop)
+}
+
+func exitFor(stop cpu.Stop) {
+	if stop.Reason != cpu.StopHalt {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfc-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces Borin, Wang, Wu and Araujo, "Software-Based
+// Transparent and Comprehensive Control-Flow Error Detection" (CGO 2006)
+// as a self-contained Go library: a simulated IA32-flavoured guest ISA and
+// assembler, a dynamic binary translator with a calibrated cycle cost
+// model, the EdgCF and RCF checking techniques plus the ECF/CFCSS/ECCA
+// baselines, the paper's single-bit-flip error model, fault-injection
+// campaigns, and a 26-program synthetic SPEC2000 workload suite.
+//
+// Start with internal/core (the facade), the cmd/ tools, or the runnable
+// examples under examples/. DESIGN.md maps every paper artifact to the
+// module that reproduces it; EXPERIMENTS.md records paper-vs-measured
+// results for every table and figure.
+package repro

@@ -1,0 +1,50 @@
+// Formal: walk the Section 4 framework by hand. Build a small control-flow
+// graph, split every block into head and tail (Figure 10), run the
+// exhaustive single-error model checker against each published scheme, and
+// print the machine-found counterexample executions — the same categories
+// of misses the paper derives analytically in Section 3.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sig"
+)
+
+func main() {
+	// A loop nest with a diamond: 0 -> 1; 1 -> {2,3}; 2 -> 4; 3 -> 4;
+	// 4 -> {1, 5}; 5 exit.
+	g := &sig.Graph{Succs: [][]sig.BlockID{
+		{1}, {2, 3}, {4}, {4}, {1, 5}, {},
+	}}
+
+	fmt.Println("graph: 0->1; 1->{2,3}; 2->4; 3->4; 4->{1,5}; 5 exit")
+	fmt.Println("every block split into head/tail; all executions with <=1 control-flow error explored")
+	fmt.Println()
+
+	schemes := []sig.Scheme{
+		sig.EdgCF{},
+		sig.RCF{},
+		sig.ECF{},
+		sig.NewCFCSS(g),
+		sig.NewECCA(g),
+	}
+	for _, s := range schemes {
+		res := sig.Verify(g, s)
+		verdict := "PROVEN comprehensive (sufficient + necessary hold)"
+		if !res.Sufficient {
+			verdict = "fails the sufficient condition: some single error escapes"
+		}
+		if !res.Necessary {
+			verdict = "fails the necessary condition: false positives!"
+		}
+		fmt.Printf("%-6s — %s  [%d states]\n", res.Scheme, verdict, res.StatesExplored)
+		for _, ev := range res.FalseNegative {
+			fmt.Printf("         %s\n", ev)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Reading the witnesses: ECF's escape lands on the tail of the block it")
+	fmt.Println("left (category C, a jump into the middle of the same block); CFCSS and")
+	fmt.Println("ECCA accept a wrong-but-legal successor (category A, mistaken branch).")
+}

@@ -1,0 +1,80 @@
+// Quickstart: assemble a tiny guest program, run it natively, run it under
+// the dynamic binary translator with the RCF control-flow checking
+// technique, then flip one bit in a branch's condition flags mid-run and
+// watch the instrumentation catch the mistaken branch.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+
+	"repro/internal/check"
+)
+
+const src = `
+; sum the integers 1..10 and print the result
+main:
+    movi eax, 0
+    movi ecx, 10
+loop:
+    add eax, ecx
+    subi ecx, 1
+    cmpi ecx, 0
+    jgt loop
+    out eax
+    halt
+`
+
+func main() {
+	p, err := core.Assemble("quickstart", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.Disassemble(p))
+
+	// 1. Native run.
+	nat := core.RunNative(p, 1_000_000)
+	fmt.Printf("native: %v, output=%v, %d cycles\n", nat.Stop, nat.Output, nat.Cycles)
+
+	// 2. The same binary under the translator, transparently protected.
+	res, err := core.RunDBT(p, core.Config{Technique: "RCF", Style: "CMOVcc"}, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dbt+RCF: %v, output=%v, %d cycles (%.2fx native)\n",
+		res.Stop, res.Output, res.Cycles, float64(res.Cycles)/float64(nat.Cycles))
+
+	// 3. Inject a soft error: flip the zero flag right before a branch
+	//    evaluates, searching for an execution where the flip reverses the
+	//    direction — a mistaken branch (category A in the paper's
+	//    classification).
+	d := dbt.New(p, dbt.Options{Technique: &check.RCF{Style: dbt.UpdateCmov}})
+	var fault *cpu.Fault
+	var fres *dbt.Result
+	for idx := uint64(0); ; idx++ {
+		fault = &cpu.Fault{BranchIndex: idx, Kind: cpu.FaultFlagBit, Bit: 2 /* FlagZ */}
+		fres = d.Run(fault, 1_000_000)
+		if !fault.Fired {
+			log.Fatal("no direction-flipping fault found")
+		}
+		if fault.CleanTaken != fault.FaultTaken {
+			break
+		}
+	}
+	fmt.Printf("\ninjected: flip Z flag at dynamic branch #%d\n", fault.BranchIndex)
+	fmt.Printf("  fault fired at cache ip 0x%x: clean direction taken=%v, faulty taken=%v\n",
+		fault.FaultIP, fault.CleanTaken, fault.FaultTaken)
+	fmt.Printf("  run ended with: %v\n", fres.Stop)
+	switch fres.Stop.Reason {
+	case cpu.StopReport:
+		fmt.Println("  -> the signature check DETECTED the control-flow error")
+	case cpu.StopHalt:
+		fmt.Printf("  -> completed; output %v (clean output %v)\n", fres.Output, nat.Output)
+	default:
+		fmt.Println("  -> hardware trap caught the stray control flow")
+	}
+}

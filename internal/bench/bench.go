@@ -1,0 +1,351 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section 2's error-model tables and
+// Section 6's performance figures) over the synthetic SPEC2000 workloads,
+// plus the fault-injection coverage matrix the paper argues analytically.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+	"repro/internal/errmodel"
+	"repro/internal/inject"
+	"repro/internal/isa"
+	"repro/internal/workloads"
+
+	"repro/internal/check"
+)
+
+// DefaultMaxSteps bounds every measured run.
+const DefaultMaxSteps = 2_000_000_000
+
+// Geomean returns the geometric mean of xs.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// SlowdownRow is one benchmark's slowdowns under a set of configurations.
+type SlowdownRow struct {
+	Name     string
+	Suite    workloads.Suite
+	Slowdown []float64
+}
+
+// SlowdownTable is a per-benchmark slowdown table with suite geomeans —
+// the structure of the paper's Figures 12 and 15.
+type SlowdownTable struct {
+	Title   string
+	Configs []string
+	Rows    []SlowdownRow
+	GeoFp   []float64
+	GeoInt  []float64
+	GeoAll  []float64
+}
+
+// computeGeomeans fills the suite geometric means.
+func (t *SlowdownTable) computeGeomeans() {
+	n := len(t.Configs)
+	t.GeoFp = make([]float64, n)
+	t.GeoInt = make([]float64, n)
+	t.GeoAll = make([]float64, n)
+	for c := 0; c < n; c++ {
+		var fp, in, all []float64
+		for _, r := range t.Rows {
+			all = append(all, r.Slowdown[c])
+			if r.Suite == workloads.SuiteFp {
+				fp = append(fp, r.Slowdown[c])
+			} else {
+				in = append(in, r.Slowdown[c])
+			}
+		}
+		t.GeoFp[c] = Geomean(fp)
+		t.GeoInt[c] = Geomean(in)
+		t.GeoAll[c] = Geomean(all)
+	}
+}
+
+// dbtCycles runs p under the translator with the given instrumentation and
+// returns the cycle count (cold run: translation included, as the paper
+// measures whole executions).
+func dbtCycles(p *isa.Program, tech dbt.Technique, pol dbt.Policy) (uint64, error) {
+	d := dbt.New(p, dbt.Options{Technique: tech, Policy: pol})
+	res := d.Run(nil, DefaultMaxSteps)
+	if res.Stop.Reason != cpu.StopHalt {
+		return 0, fmt.Errorf("%s/%v: run ended with %v", p.Name, pol, res.Stop)
+	}
+	return res.Cycles, nil
+}
+
+// Figure12 measures the per-benchmark slowdown of RCF, EdgCF and ECF
+// (Jcc update style, ALLBB policy) relative to the uninstrumented DBT.
+func Figure12(scale float64) (*SlowdownTable, error) {
+	techs := check.DBTTechniques(dbt.UpdateJcc)
+	names := make([]string, len(techs))
+	for i, tc := range techs {
+		names[i] = tc.Name()
+	}
+	t := &SlowdownTable{
+		Title:   "Figure 12 - performance slowdown (Jcc update, ALLBB policy)",
+		Configs: names,
+	}
+	for _, prof := range workloads.All() {
+		p, err := prof.Build(scale)
+		if err != nil {
+			return nil, err
+		}
+		base, err := dbtCycles(p, nil, dbt.PolicyAllBB)
+		if err != nil {
+			return nil, err
+		}
+		row := SlowdownRow{Name: prof.Name, Suite: prof.Suite}
+		for _, tc := range techs {
+			c, err := dbtCycles(p, tc, dbt.PolicyAllBB)
+			if err != nil {
+				return nil, err
+			}
+			row.Slowdown = append(row.Slowdown, float64(c)/float64(base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.computeGeomeans()
+	return t, nil
+}
+
+// Figure14Table is the 2x3 geomean-slowdown table comparing the Jcc and
+// CMOVcc conditional-update styles.
+type Figure14Table struct {
+	// Slowdown[style][technique]: styles Jcc, CMOVcc; techniques RCF,
+	// EdgCF, ECF.
+	Techniques []string
+	Styles     []string
+	Slowdown   [2][3]float64
+}
+
+// Figure14 measures geometric-mean slowdowns for both update styles.
+func Figure14(scale float64) (*Figure14Table, error) {
+	out := &Figure14Table{
+		Techniques: []string{"RCF", "EdgCF", "ECF"},
+		Styles:     []string{"Jcc", "CMOVcc"},
+	}
+	for si, style := range []dbt.UpdateStyle{dbt.UpdateJcc, dbt.UpdateCmov} {
+		techs := check.DBTTechniques(style)
+		var all [3][]float64
+		for _, prof := range workloads.All() {
+			p, err := prof.Build(scale)
+			if err != nil {
+				return nil, err
+			}
+			base, err := dbtCycles(p, nil, dbt.PolicyAllBB)
+			if err != nil {
+				return nil, err
+			}
+			for ti, tc := range techs {
+				c, err := dbtCycles(p, tc, dbt.PolicyAllBB)
+				if err != nil {
+					return nil, err
+				}
+				all[ti] = append(all[ti], float64(c)/float64(base))
+			}
+		}
+		for ti := range techs {
+			out.Slowdown[si][ti] = Geomean(all[ti])
+		}
+	}
+	return out, nil
+}
+
+// Figure15 measures the RCF technique under the four signature checking
+// policies.
+func Figure15(scale float64) (*SlowdownTable, error) {
+	pols := dbt.Policies()
+	names := make([]string, len(pols))
+	for i, pol := range pols {
+		names[i] = pol.String()
+	}
+	t := &SlowdownTable{
+		Title:   "Figure 15 - RCF slowdown under the checking policies",
+		Configs: names,
+	}
+	for _, prof := range workloads.All() {
+		p, err := prof.Build(scale)
+		if err != nil {
+			return nil, err
+		}
+		base, err := dbtCycles(p, nil, dbt.PolicyAllBB)
+		if err != nil {
+			return nil, err
+		}
+		row := SlowdownRow{Name: prof.Name, Suite: prof.Suite}
+		for _, pol := range pols {
+			c, err := dbtCycles(p, &check.RCF{Style: dbt.UpdateJcc}, pol)
+			if err != nil {
+				return nil, err
+			}
+			row.Slowdown = append(row.Slowdown, float64(c)/float64(base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.computeGeomeans()
+	return t, nil
+}
+
+// BaselineRow reports the translator's own overhead for one benchmark.
+type BaselineRow struct {
+	Name     string
+	Suite    workloads.Suite
+	Native   uint64
+	DBT      uint64
+	Overhead float64 // DBT/Native - 1
+}
+
+// DBTBaseline measures the uninstrumented translator against native
+// execution (the paper reports ~12% average).
+func DBTBaseline(scale float64) ([]BaselineRow, float64, error) {
+	var rows []BaselineRow
+	var ratios []float64
+	for _, prof := range workloads.All() {
+		p, err := prof.Build(scale)
+		if err != nil {
+			return nil, 0, err
+		}
+		m := cpu.New()
+		if stop := m.RunProgram(p, DefaultMaxSteps); stop.Reason != cpu.StopHalt {
+			return nil, 0, fmt.Errorf("%s: native %v", p.Name, stop)
+		}
+		dc, err := dbtCycles(p, nil, dbt.PolicyAllBB)
+		if err != nil {
+			return nil, 0, err
+		}
+		r := BaselineRow{
+			Name:     prof.Name,
+			Suite:    prof.Suite,
+			Native:   m.Cycles,
+			DBT:      dc,
+			Overhead: float64(dc)/float64(m.Cycles) - 1,
+		}
+		rows = append(rows, r)
+		ratios = append(ratios, float64(dc)/float64(m.Cycles))
+	}
+	return rows, Geomean(ratios) - 1, nil
+}
+
+// Figure2 runs the error model over both suites, aggregating fault-site
+// counts per suite (dynamic weighting, as the paper's per-suite tables).
+func Figure2(scale float64) (intTab, fpTab *errmodel.Table, err error) {
+	intTab, fpTab = &errmodel.Table{}, &errmodel.Table{}
+	for _, prof := range workloads.All() {
+		p, err := prof.Build(scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := errmodel.Analyze(p, DefaultMaxSteps)
+		if err != nil {
+			return nil, nil, err
+		}
+		if prof.Suite == workloads.SuiteInt {
+			intTab.Add(t)
+		} else {
+			fpTab.Add(t)
+		}
+	}
+	return intTab, fpTab, nil
+}
+
+// CoverageConfig parameterizes the coverage matrix experiment.
+type CoverageConfig struct {
+	Scale     float64
+	Samples   int
+	Seed      int64
+	Workloads []string // nil: a representative int+fp subset
+}
+
+// CoverageMatrix runs fault-injection campaigns for every technique
+// (including the static baselines) over the selected workloads and returns
+// one merged report per technique.
+func CoverageMatrix(cfg CoverageConfig) ([]*inject.Report, error) {
+	if cfg.Samples <= 0 {
+		cfg.Samples = 200
+	}
+	names := cfg.Workloads
+	if names == nil {
+		names = []string{"164.gzip", "181.mcf", "171.swim", "183.equake"}
+	}
+	var progs []*isa.Program
+	for _, n := range names {
+		prof, err := workloads.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		p, err := prof.Build(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+
+	var reports []*inject.Report
+	// DBT techniques (CMOVcc: the safe configuration).
+	for _, name := range []string{"none", "ECF", "EdgCF", "RCF"} {
+		tech, err := check.New(name, dbt.UpdateCmov)
+		if err != nil {
+			return nil, err
+		}
+		merged := &inject.Report{Technique: name, Program: "suite", ByCat: map[errmodel.Category]*inject.Agg{}}
+		for _, p := range progs {
+			r, err := inject.Campaign(p, inject.Config{
+				Technique: tech, Samples: cfg.Samples, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			mergeReports(merged, r)
+		}
+		reports = append(reports, merged)
+	}
+	// Static baselines.
+	for _, kind := range []check.StaticKind{check.StaticCFCSS, check.StaticECCA} {
+		merged := &inject.Report{Technique: kind.String(), Program: "suite", ByCat: map[errmodel.Category]*inject.Agg{}}
+		for _, p := range progs {
+			ip, err := check.InstrumentStatic(p, kind)
+			if err != nil {
+				return nil, err
+			}
+			r, err := inject.StaticCampaign(ip, kind.String(), inject.Config{Samples: cfg.Samples, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			mergeReports(merged, r)
+		}
+		reports = append(reports, merged)
+	}
+	return reports, nil
+}
+
+func mergeReports(dst, src *inject.Report) {
+	dst.Samples += src.Samples
+	dst.NotFired += src.NotFired
+	dst.LatencySum += src.LatencySum
+	dst.LatencyN += src.LatencyN
+	for c, a := range src.ByCat {
+		da := dst.ByCat[c]
+		if da == nil {
+			da = &inject.Agg{}
+			dst.ByCat[c] = da
+		}
+		for o, n := range a.Count {
+			da.Count[o] += n
+			dst.Totals.Count[o] += n
+		}
+		da.Total += a.Total
+		dst.Totals.Total += a.Total
+	}
+}

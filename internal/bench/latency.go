@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dbt"
+	"repro/internal/inject"
+	"repro/internal/workloads"
+
+	"repro/internal/check"
+)
+
+// PolicyRow quantifies one checking policy's complete trade-off: the
+// performance it buys, the coverage it keeps, and the error-report latency
+// it pays — the trade the paper's Section 6 describes qualitatively.
+type PolicyRow struct {
+	Policy      dbt.Policy
+	Slowdown    float64 // geomean vs uninstrumented DBT
+	Coverage    float64 // detected / effective errors
+	MeanLatency float64 // instructions from fault to report
+	Hangs       int     // errors that looped past the step budget
+	SDCs        int
+}
+
+// PolicyLatency measures RCF under all four policies: slowdown over the
+// whole suite, coverage/latency from injection campaigns on a workload
+// subset.
+func PolicyLatency(scale float64, samples int, seed int64) ([]PolicyRow, error) {
+	campaignLoads := []string{"164.gzip", "183.equake"}
+	var rows []PolicyRow
+	for _, pol := range dbt.Policies() {
+		row := PolicyRow{Policy: pol}
+
+		// Slowdown across the full suite.
+		var ratios []float64
+		for _, prof := range workloads.All() {
+			p, err := prof.Build(scale)
+			if err != nil {
+				return nil, err
+			}
+			base, err := dbtCycles(p, nil, dbt.PolicyAllBB)
+			if err != nil {
+				return nil, err
+			}
+			c, err := dbtCycles(p, &check.RCF{Style: dbt.UpdateJcc}, pol)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, float64(c)/float64(base))
+		}
+		row.Slowdown = Geomean(ratios)
+
+		// Coverage and latency from injection.
+		var latSum uint64
+		var latN int
+		var detected, errs int
+		for _, n := range campaignLoads {
+			prof, err := workloads.ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			p, err := prof.Build(scale / 2)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := inject.Campaign(p, inject.Config{
+				Technique: &check.RCF{Style: dbt.UpdateCmov},
+				Policy:    pol,
+				Samples:   samples,
+				Seed:      seed,
+				MaxSteps:  20_000_000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			latSum += rep.LatencySum
+			latN += rep.LatencyN
+			detected += rep.Totals.Detected()
+			errs += rep.Totals.Errors()
+			row.Hangs += rep.Totals.Count[inject.OutHang]
+			row.SDCs += rep.Totals.Count[inject.OutSDC]
+		}
+		if errs > 0 {
+			row.Coverage = float64(detected) / float64(errs)
+		}
+		if latN > 0 {
+			row.MeanLatency = float64(latSum) / float64(latN)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatPolicyLatency renders the policy trade-off table.
+func FormatPolicyLatency(rows []PolicyRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "RCF checking policies — speed vs coverage vs error-report latency")
+	fmt.Fprintf(&b, "%-8s %10s %10s %14s %7s %6s\n",
+		"policy", "slowdown", "coverage", "mean-latency", "hangs", "SDCs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %9.2fx %9.1f%% %8.0f instr %7d %6d\n",
+			r.Policy, r.Slowdown, r.Coverage*100, r.MeanLatency, r.Hangs, r.SDCs)
+	}
+	fmt.Fprintln(&b, "(signature updates run everywhere under every policy; only the checks move)")
+	return b.String()
+}

@@ -1,0 +1,188 @@
+package check
+
+// Data-flow checking — the paper's stated future work ("In the future we
+// will add data flow checking into our implementation and measure the
+// overall performance impact"), implemented here as a SWIFT-style
+// instruction-duplication body transform for the translator.
+//
+// The target machine has four registers to spare after the control-flow
+// instrumentation claims R12-R15, so four guest registers get shadows:
+//
+//	eax -> r8    edx -> r9    ebx -> r10    esi -> r11
+//
+// Every body instruction that writes a shadowed register is duplicated
+// into shadow space (the shadow copy runs first so the architectural flags
+// always come from the original instruction). At synchronization points —
+// stores, outputs, and optionally compares — the value about to escape is
+// compared against its shadow with the flag-transparent xor3/jrz pair; a
+// mismatch reports through the same channel as the control-flow checks.
+//
+// Faults in the four unshadowed registers (ecx, ebp, edi, esp) are not
+// covered, the same partial-protection trade real SWIFT deployments make
+// under register pressure.
+
+import (
+	"repro/internal/dbt"
+	"repro/internal/isa"
+)
+
+// DFC is the data-flow checking body transform.
+type DFC struct {
+	// SyncAtCmps additionally verifies compare operands, catching data
+	// errors before they can steer a branch (SWIFT's control-relevant
+	// checks). Costlier; stores and outputs are always checked.
+	SyncAtCmps bool
+}
+
+// shadowOf maps guest registers to their shadows (0 = unshadowed; R8 is
+// never a valid shadow value for "none" because guest code cannot name it).
+var shadowOf = [isa.NumRegs]isa.Reg{
+	isa.EAX: isa.R8,
+	isa.EDX: isa.R9,
+	isa.EBX: isa.R10,
+	isa.ESI: isa.R11,
+}
+
+func shadow(r isa.Reg) (isa.Reg, bool) {
+	s := shadowOf[r]
+	return s, s != 0
+}
+
+// Name implements dbt.BodyTransform.
+func (t *DFC) Name() string {
+	if t.SyncAtCmps {
+		return "DFC+cmp"
+	}
+	return "DFC"
+}
+
+// Prologue implements dbt.BodyTransform: shadows start equal to their
+// (zeroed) originals.
+func (t *DFC) Prologue() []dbt.RegInit {
+	var inits []dbt.RegInit
+	for r, s := range shadowOf {
+		if s != 0 {
+			inits = append(inits, dbt.RegInit{Reg: s, Val: 0})
+		}
+		_ = r
+	}
+	return inits
+}
+
+// emitSync compares r against its shadow (when shadowed) and reports on
+// mismatch. xor3 is flag transparent, so guest flags survive the check.
+func (t *DFC) emitSync(e *dbt.Emitter, r isa.Reg) {
+	s, ok := shadow(r)
+	if !ok {
+		return
+	}
+	e.Emit(isa.Instr{Op: isa.OpXor3, RD: regSCR, RS1: r, RS2: s})
+	skip := e.JrzFwd(regSCR)
+	e.Report()
+	e.Bind(skip)
+}
+
+// srcReg returns the register to use as a shadow-side source: the shadow
+// when one exists, the original otherwise (faults in unshadowed registers
+// propagate into shadow space identically and stay undetected).
+func srcReg(r isa.Reg) isa.Reg {
+	if s, ok := shadow(r); ok {
+		return s
+	}
+	return r
+}
+
+// TransformBody implements dbt.BodyTransform.
+func (t *DFC) TransformBody(e *dbt.Emitter, in isa.Instr) {
+	switch in.Op {
+	case isa.OpStore:
+		// Sync point: both the address base and the stored value are about
+		// to escape to (unduplicated) memory.
+		t.emitSync(e, in.RS1)
+		t.emitSync(e, in.RS2)
+		e.Emit(in)
+		return
+
+	case isa.OpOut:
+		t.emitSync(e, in.RS1)
+		e.Emit(in)
+		return
+
+	case isa.OpCmp, isa.OpTest:
+		if t.SyncAtCmps {
+			t.emitSync(e, in.RD)
+			t.emitSync(e, in.RS1)
+		}
+		e.Emit(in)
+		return
+	case isa.OpCmpI:
+		if t.SyncAtCmps {
+			t.emitSync(e, in.RD)
+		}
+		e.Emit(in)
+		return
+
+	case isa.OpLoad:
+		// Duplicate the load: the shadow re-reads the same memory through
+		// the shadowed address base, giving the shadow an independent copy.
+		e.Emit(in)
+		if s, ok := shadow(in.RD); ok {
+			e.Emit(isa.Instr{Op: isa.OpLoad, RD: s, RS1: srcReg(in.RS1), Imm: in.Imm})
+		}
+		return
+
+	case isa.OpPop:
+		// Stack memory is unduplicated; resynchronize the shadow from the
+		// popped value.
+		e.Emit(in)
+		if s, ok := shadow(in.RD); ok {
+			e.Emit(isa.Instr{Op: isa.OpMovRR, RD: s, RS1: in.RD})
+		}
+		return
+
+	case isa.OpPush:
+		t.emitSync(e, in.RS1)
+		e.Emit(in)
+		return
+
+	case isa.OpDiv:
+		// Shadowing div would double its prohibitive cost and duplicate
+		// its trap; resynchronize instead (documented coverage gap).
+		e.Emit(in)
+		if s, ok := shadow(in.RD); ok {
+			e.Emit(isa.Instr{Op: isa.OpMovRR, RD: s, RS1: in.RD})
+		}
+		return
+	}
+
+	// Arithmetic, moves, shifts, cmov: duplicate into shadow space when
+	// the destination is shadowed. The shadow copy runs FIRST so it reads
+	// pre-update sources and the architectural flags come from the
+	// original instruction.
+	if s, ok := shadow(in.RD); ok && writesRD(in.Op) {
+		dup := in
+		dup.RD = s
+		dup.RS1 = srcReg(in.RS1)
+		if in.Op == isa.OpLea3 {
+			dup.RS2 = srcReg(in.RS2)
+		}
+		// For OpCmov RS2 holds the condition code: never remapped.
+		e.Emit(dup)
+	}
+	e.Emit(in)
+}
+
+// writesRD reports whether the op writes its RD operand with a value the
+// shadow can recompute.
+func writesRD(op isa.Op) bool {
+	switch op {
+	case isa.OpMovRI, isa.OpMovRR, isa.OpLea, isa.OpLea3,
+		isa.OpAdd, isa.OpAddI, isa.OpSub, isa.OpSubI,
+		isa.OpAnd, isa.OpAndI, isa.OpOr, isa.OpOrI,
+		isa.OpXor, isa.OpXorI, isa.OpShl, isa.OpShlI, isa.OpShr, isa.OpShrI,
+		isa.OpMul, isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv,
+		isa.OpCmov:
+		return true
+	}
+	return false
+}

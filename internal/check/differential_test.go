@@ -1,0 +1,140 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+	"repro/internal/inject"
+	"repro/internal/workloads"
+)
+
+// Differential fuzzing: generate many random structured programs (random
+// workload profiles) and require that every technique, style and policy
+// preserves the native behavior exactly — output, termination, and no
+// false positives. This is the strongest end-to-end statement of the
+// paper's necessary condition.
+func TestDifferentialFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzz is slow")
+	}
+	const variants = 24
+	for i := 0; i < variants; i++ {
+		prof := randomProfile(int64(1000 + i*17))
+		prof.Name = fmt.Sprintf("fuzz-%d", i)
+		p, err := prof.Build(0.03)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		m := cpu.New()
+		stop := m.RunProgram(p, 200_000_000)
+		if stop.Reason != cpu.StopHalt {
+			t.Fatalf("%s: native stop %v", prof.Name, stop)
+		}
+		want := append([]int32(nil), m.Output...)
+
+		style := dbt.UpdateJcc
+		if i%2 == 1 {
+			style = dbt.UpdateCmov
+		}
+		pol := dbt.Policies()[i%4]
+		for _, tech := range append(DBTTechniques(style), dbt.None{}) {
+			d := dbt.New(p, dbt.Options{Technique: tech, Policy: pol, TraceThreshold: 5 + i%40})
+			res := d.Run(nil, 200_000_000)
+			if res.Stop.Reason != cpu.StopHalt {
+				t.Errorf("%s/%s/%s/%s: stop %v", prof.Name, tech.Name(), style, pol, res.Stop)
+				continue
+			}
+			if !equalOut(res.Output, want) {
+				t.Errorf("%s/%s/%s/%s: output %v != native %v",
+					prof.Name, tech.Name(), style, pol, res.Output, want)
+			}
+		}
+
+		// Static baselines too (they reject indirect branches, which the
+		// generator only emits via ret — always supported).
+		for _, kind := range []StaticKind{StaticCFCSS, StaticECCA} {
+			ip, err := InstrumentStatic(p, kind)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", prof.Name, kind, err)
+			}
+			m2 := cpu.New()
+			m2.Reset(ip)
+			stop := m2.Run(ip.Code, 200_000_000)
+			if stop.Reason != cpu.StopHalt || !equalOut(m2.Output, want) {
+				t.Errorf("%s/%s: stop %v output %v want %v", prof.Name, kind, stop, m2.Output, want)
+			}
+		}
+	}
+}
+
+// randomProfile draws a structurally diverse profile from a seed.
+func randomProfile(seed int64) workloads.Profile {
+	r := func(lo, hi int64) int { return int(lo + (seed*2654435761)%(hi-lo+1)) }
+	suite := workloads.SuiteInt
+	if seed%2 == 0 {
+		suite = workloads.SuiteFp
+	}
+	return workloads.Profile{
+		Suite:          suite,
+		Seed:           seed,
+		Funcs:          1 + r(0, 4),
+		OuterIters:     40,
+		InnerItersMin:  2 + r(0, 5),
+		InnerItersMax:  8 + r(0, 30),
+		BlockMin:       1 + r(0, 6),
+		BlockMax:       8 + r(0, 60),
+		SelfLoopFrac:   float64(r(0, 100)) / 100,
+		DiamondFrac:    float64(r(0, 220)) / 100,
+		TakenBias:      float64(10+r(0, 80)) / 100,
+		FpFrac:         float64(r(0, 60)) / 100,
+		MemFrac:        float64(r(0, 30)) / 100,
+		MulFrac:        float64(r(0, 15)) / 100,
+		CallInLoopFrac: float64(r(0, 40)) / 100,
+		ColdWords:      500 + r(0, 3000),
+		DataWords:      1024,
+	}
+}
+
+// TestDifferentialFaultFuzz injects random faults into random programs
+// under RCF and asserts the global safety property: no hang ever ends the
+// campaign (ALLBB bounds detection), and silent corruption only through
+// the two documented residual gaps.
+func TestDifferentialFaultFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault fuzz is slow")
+	}
+	for i := 0; i < 6; i++ {
+		prof := randomProfile(int64(7000 + i*29))
+		prof.Name = fmt.Sprintf("ffuzz-%d", i)
+		p, err := prof.Build(0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := nativeOut(t, p)
+		tech := &RCF{Style: dbt.UpdateCmov}
+		d := dbt.New(p, dbt.Options{Technique: tech})
+		if r := d.Run(nil, 100_000_000); r.Stop.Reason != cpu.StopHalt {
+			t.Fatalf("%s: clean %v", prof.Name, r.Stop)
+		}
+		for idx := uint64(0); idx < 60; idx += 3 {
+			for _, bit := range []uint{0, 1, 3, 7, 13, 25} {
+				f := &cpu.Fault{BranchIndex: idx, Kind: cpu.FaultOffsetBit, Bit: bit}
+				res := d.Run(f, 100_000_000)
+				if !f.Fired {
+					continue
+				}
+				if res.Stop.Reason == cpu.StopOutOfSteps {
+					t.Errorf("%s: hang at idx %d bit %d", prof.Name, idx, bit)
+				}
+				if res.Stop.Reason == cpu.StopHalt && !equalOut(res.Output, want) {
+					if !inject.IsResidualGap(d, f.FaultTarget) {
+						t.Errorf("%s: unexplained SDC at idx %d bit %d (target %#x)",
+							prof.Name, idx, bit, f.FaultTarget)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// StaticKind selects a baseline instrumenter applied offline to whole
+// programs. The paper could not host CFCSS and ECCA inside its
+// translate-on-demand DBT because both need the full CFG up front to assign
+// signatures; we reproduce them as static rewriters so the coverage
+// comparison of Section 3 can be run empirically.
+type StaticKind int
+
+// Static baseline kinds.
+const (
+	// StaticCFCSS is Oh/Shirvani/McCluskey control-flow checking by
+	// software signatures: block-entry signature update + compare, with the
+	// fan-in constraint forcing predecessor signature aliasing.
+	StaticCFCSS StaticKind = iota
+	// StaticECCA is Alkhalifa et al.'s Enhanced Control-flow Checking
+	// using Assertions: a block-entry assertion accepting any legal
+	// predecessor id and an end-of-block id assignment. (The original
+	// routes the assertion through a div-by-zero trap; this implementation
+	// reports through the same OpReport channel as the other techniques,
+	// which does not change coverage.)
+	StaticECCA
+)
+
+// String names the kind.
+func (k StaticKind) String() string {
+	if k == StaticCFCSS {
+		return "CFCSS"
+	}
+	return "ECCA"
+}
+
+// InstrumentStatic rewrites a guest program with the selected baseline
+// technique, producing a target-ISA program whose checks report through
+// OpReport. Programs containing register-indirect jumps or calls are
+// rejected: static rewriting cannot relocate address constants that flow
+// into indirect branches (the classic static-instrumentation limitation
+// that motivates the paper's DBT approach). Plain call/ret is supported.
+func InstrumentStatic(p *isa.Program, kind StaticKind) (*isa.Program, error) {
+	for addr, in := range p.Code {
+		if in.Op == isa.OpJmpR || in.Op == isa.OpCallR {
+			return nil, fmt.Errorf("%s: @0x%x: %s: static instrumentation cannot relocate indirect branch targets",
+				p.Name, addr, in.Op)
+		}
+	}
+	g := cfg.Build(p)
+	n := g.NumBlocks()
+	if n == 0 {
+		return nil, fmt.Errorf("%s: empty program", p.Name)
+	}
+
+	// Predecessors and call-continuation blocks.
+	preds := make([][]int, n)
+	continuation := make([]bool, n)
+	for _, b := range g.Blocks {
+		last := p.Code[b.End-1]
+		for _, s := range b.Succs {
+			sb := g.BlockStarting(s)
+			if last.Op == isa.OpCall && s == b.End {
+				// The continuation is reached through the callee's return,
+				// not through this static edge; it gets a signature reset
+				// instead of an inherited signature (an intra-procedural
+				// simplification both original papers also make in spirit:
+				// signatures are not carried across call boundaries).
+				continuation[sb.ID] = true
+				continue
+			}
+			preds[sb.ID] = append(preds[sb.ID], b.ID)
+		}
+	}
+
+	entryBlock := g.BlockAt(p.Entry)
+	bl := func(start uint32) string { return fmt.Sprintf("b_%x", start) }
+
+	bb := asm.NewBuilder(fmt.Sprintf("%s+%s", p.Name, kind))
+	bb.SetTarget()
+	bb.SetDataWords(p.DataWords)
+	bb.SetEntry("prologue")
+	okCount := 0
+	okLabel := func() string { okCount++; return fmt.Sprintf("ok_%d", okCount) }
+
+	switch kind {
+	case StaticCFCSS:
+		sigs, d := cfcssAssignment(g, preds)
+		// Prologue: G primed so the entry block's own update lands on its
+		// signature (loop-backs to the entry then work unchanged).
+		bb.Label("prologue")
+		bb.MovI(regPC, sigs[entryBlock.ID]-d[entryBlock.ID])
+		bb.Jmp(bl(entryBlock.Start))
+		for _, b := range g.Blocks {
+			bb.Label(bl(b.Start))
+			if continuation[b.ID] {
+				bb.MovI(regPC, sigs[b.ID])
+			} else {
+				bb.Lea(regPC, regPC, d[b.ID])
+				ok := okLabel()
+				bb.Lea(regSCR, regPC, -sigs[b.ID])
+				bb.Jrz(regSCR, ok)
+				bb.Emit(isa.Instr{Op: isa.OpReport})
+				bb.Label(ok)
+			}
+			copyBlock(bb, p, g, b, bl, nil)
+		}
+
+	case StaticECCA:
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i) + 1
+		}
+		initID := int32(n) + 1
+		bb.Label("prologue")
+		bb.MovI(regPC, initID)
+		bb.Jmp(bl(entryBlock.Start))
+		for _, b := range g.Blocks {
+			bb.Label(bl(b.Start))
+			if continuation[b.ID] {
+				bb.MovI(regPC, ids[b.ID])
+			} else {
+				ok := okLabel()
+				legal := preds[b.ID]
+				var accepts []int32
+				for _, pb := range legal {
+					accepts = append(accepts, ids[pb])
+				}
+				if b == entryBlock {
+					accepts = append(accepts, initID)
+				}
+				for _, v := range accepts {
+					bb.Lea(regSCR, regPC, -v)
+					bb.Jrz(regSCR, ok)
+				}
+				bb.Emit(isa.Instr{Op: isa.OpReport})
+				bb.Label(ok)
+				bb.MovI(regPC, ids[b.ID])
+			}
+			copyBlock(bb, p, g, b, bl, func() {
+				// End-of-block id assignment (the NEXT product in the
+				// concrete technique): executed even when an error lands
+				// mid-block, which is exactly ECCA's category C/E hole.
+				bb.MovI(regPC, ids[b.ID])
+			})
+		}
+	default:
+		return nil, fmt.Errorf("unknown static kind %d", kind)
+	}
+
+	out, err := bb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%s: instrumentation failed: %v", p.Name, err)
+	}
+	return out, nil
+}
+
+// cfcssAssignment computes the CFCSS signature assignment over the CFG:
+// blocks sharing a successor are unified into one signature class (the
+// common-predecessor constraint), then d(B) = sig(B) - sig(basePred(B)) in
+// the additive algebra.
+func cfcssAssignment(g *cfg.Graph, preds [][]int) (sigs, d []int32) {
+	n := g.NumBlocks()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, ps := range preds {
+		for i := 1; i < len(ps); i++ {
+			parent[find(ps[0])] = find(ps[i])
+		}
+	}
+	sigs = make([]int32, n)
+	class := map[int]int32{}
+	for b := 0; b < n; b++ {
+		root := find(b)
+		if _, ok := class[root]; !ok {
+			class[root] = int32(len(class)) + 1
+		}
+		sigs[b] = class[root]
+	}
+	d = make([]int32, n)
+	for b := 0; b < n; b++ {
+		if len(preds[b]) > 0 {
+			d[b] = sigs[b] - sigs[preds[b][0]]
+		}
+	}
+	return sigs, d
+}
+
+// copyBlock re-emits a block's body and its terminator with branch targets
+// remapped to block labels. exitHook, when non-nil, runs just before the
+// terminator (end-of-block instrumentation).
+func copyBlock(bb *asm.Builder, p *isa.Program, g *cfg.Graph, b *cfg.Block, bl func(uint32) string, exitHook func()) {
+	last := p.Code[b.End-1]
+	bodyEnd := b.End
+	if last.Op.IsTerminator() {
+		bodyEnd--
+	}
+	for a := b.Start; a < bodyEnd; a++ {
+		bb.Emit(p.Code[a])
+	}
+	if exitHook != nil {
+		exitHook()
+	}
+	if !last.Op.IsTerminator() {
+		return // falls through into the next emitted block
+	}
+	termAddr := b.End - 1
+	switch last.Op {
+	case isa.OpJmp:
+		bb.Jmp(bl(last.Target(termAddr)))
+	case isa.OpJcc:
+		bb.Jcc(last.Cond(), bl(last.Target(termAddr)))
+	case isa.OpJrz:
+		bb.Jrz(last.RS1, bl(last.Target(termAddr)))
+	case isa.OpCall:
+		bb.Call(bl(last.Target(termAddr)))
+	default:
+		// ret, halt: position independent.
+		bb.Emit(last)
+	}
+}

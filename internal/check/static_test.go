@@ -1,0 +1,224 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+	"repro/internal/isa"
+)
+
+func runTarget(t *testing.T, p *isa.Program, f *cpu.Fault) (cpu.Stop, []int32) {
+	t.Helper()
+	m := cpu.New()
+	m.Reset(p)
+	m.Fault = f
+	stop := m.Run(p.Code, 50_000_000)
+	return stop, append([]int32(nil), m.Output...)
+}
+
+// TestStaticTransparency: CFCSS and ECCA instrumented programs behave
+// identically to the originals on clean runs.
+func TestStaticTransparency(t *testing.T) {
+	for name, src := range transparencyPrograms {
+		if strings.Contains(src, "callr") || strings.Contains(src, "jmpr") {
+			continue // static baselines reject indirect branches
+		}
+		p := mustAssemble(t, src)
+		want := nativeOut(t, p)
+		for _, kind := range []StaticKind{StaticCFCSS, StaticECCA} {
+			ip, err := InstrumentStatic(p, kind)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, kind, err)
+			}
+			if !ip.Target {
+				t.Fatalf("%s/%s: instrumented program not marked target", name, kind)
+			}
+			stop, out := runTarget(t, ip, nil)
+			if stop.Reason != cpu.StopHalt {
+				t.Errorf("%s/%s: stop = %v (false positive?)", name, kind, stop)
+				continue
+			}
+			if !equalOut(out, want) {
+				t.Errorf("%s/%s: output %v, want %v", name, kind, out, want)
+			}
+		}
+	}
+}
+
+func TestStaticRejectsIndirect(t *testing.T) {
+	p := mustAssemble(t, transparencyPrograms["indirect"])
+	if _, err := InstrumentStatic(p, StaticCFCSS); err == nil {
+		t.Error("CFCSS static instrumentation must reject indirect branches")
+	}
+	if _, err := InstrumentStatic(p, StaticECCA); err == nil {
+		t.Error("ECCA static instrumentation must reject indirect branches")
+	}
+}
+
+// TestStaticBaselinesMissMistakenBranch: the paper's Section 3 analysis —
+// neither CFCSS nor ECCA can detect category A (mistaken branch): the
+// wrong-but-legal successor passes their entry checks.
+func TestStaticBaselinesMissMistakenBranch(t *testing.T) {
+	p := mustAssemble(t, mistakenBranchProgram)
+	want := nativeOut(t, p)
+	for _, kind := range []StaticKind{StaticCFCSS, StaticECCA} {
+		ip, err := InstrumentStatic(p, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawSDC := false
+		for idx := uint64(0); idx < 32; idx++ {
+			f := &cpu.Fault{BranchIndex: idx, Kind: cpu.FaultFlagBit, Bit: 2}
+			stop, out := runTarget(t, ip, f)
+			if stop.Reason == cpu.StopHalt && !equalOut(out, want) {
+				sawSDC = true
+			}
+			if !f.Fired {
+				break
+			}
+		}
+		if !sawSDC {
+			t.Errorf("%s: expected a silent corruption from a mistaken branch (category A gap)", kind)
+		}
+	}
+}
+
+// TestECCADetectsIllegalBlockEntry: a jump to the beginning of a
+// non-successor block must trip the ECCA assertion (category D coverage).
+func TestECCADetectsIllegalBlockEntry(t *testing.T) {
+	// Program with several well-separated blocks; offset faults on the
+	// taken jump scatter control flow to other block starts.
+	src := `
+main:
+    movi eax, 0
+    movi ecx, 8
+loop:
+    addi eax, 1
+    subi ecx, 1
+    cmpi ecx, 0
+    jgt loop
+    out eax
+    halt
+cold1:
+    movi ebx, 1
+    out ebx
+    halt
+cold2:
+    movi ebx, 2
+    out ebx
+    halt
+`
+	p := mustAssemble(t, src)
+	want := nativeOut(t, p)
+	ip, err := InstrumentStatic(p, StaticECCA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	total := 0
+	for idx := uint64(0); idx < 16; idx++ {
+		for bit := uint(0); bit < 8; bit++ {
+			f := &cpu.Fault{BranchIndex: idx, Kind: cpu.FaultOffsetBit, Bit: bit}
+			stop, out := runTarget(t, ip, f)
+			if !f.Fired {
+				continue
+			}
+			if stop.Reason == cpu.StopHalt && equalOut(out, want) {
+				continue // benign
+			}
+			total++
+			if stop.Reason == cpu.StopReport || stop.Reason.IsHardwareTrap() {
+				detected++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no effective faults planted")
+	}
+	if detected == 0 {
+		t.Errorf("ECCA detected none of %d effective offset faults", total)
+	}
+}
+
+// TestCFCSSDetectsWildJumpToUnrelatedBlock: with unique (non-aliased)
+// signatures between unrelated blocks, CFCSS catches category D/E jumps
+// that land on another block's check.
+func TestCFCSSDetectsSomething(t *testing.T) {
+	p := mustAssemble(t, transparencyPrograms["diamond"])
+	want := nativeOut(t, p)
+	ip, err := InstrumentStatic(p, StaticCFCSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, total := 0, 0
+	for idx := uint64(0); idx < 64; idx++ {
+		for bit := uint(0); bit < 10; bit++ {
+			f := &cpu.Fault{BranchIndex: idx, Kind: cpu.FaultOffsetBit, Bit: bit}
+			stop, out := runTarget(t, ip, f)
+			if !f.Fired {
+				continue
+			}
+			if stop.Reason == cpu.StopHalt && equalOut(out, want) {
+				continue
+			}
+			total++
+			if stop.Reason == cpu.StopReport || stop.Reason.IsHardwareTrap() || stop.Reason == cpu.StopDivZero {
+				detected++
+			}
+		}
+	}
+	if total == 0 || detected == 0 {
+		t.Errorf("CFCSS: detected %d of %d effective faults", detected, total)
+	}
+}
+
+// TestStaticCoverageBelowRCF: sweeping the same fault space, the static
+// baselines must leave strictly more silent corruptions than RCF in the
+// DBT — the paper's core comparative claim.
+func TestStaticCoverageBelowRCF(t *testing.T) {
+	p := mustAssemble(t, transparencyPrograms["diamond"])
+	want := nativeOut(t, p)
+
+	sdcStatic := func(kind StaticKind) int {
+		ip, err := InstrumentStatic(p, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for idx := uint64(0); idx < 64; idx++ {
+			for _, fk := range []cpu.FaultKind{cpu.FaultOffsetBit, cpu.FaultFlagBit} {
+				for bit := uint(0); bit < 8; bit++ {
+					f := &cpu.Fault{BranchIndex: idx, Kind: fk, Bit: bit}
+					stop, out := runTarget(t, ip, f)
+					if stop.Reason == cpu.StopHalt && !equalOut(out, want) {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	cfcss := sdcStatic(StaticCFCSS)
+	ecca := sdcStatic(StaticECCA)
+
+	rcf := 0
+	tech := &RCF{Style: dbt.UpdateCmov}
+	for idx := uint64(0); idx < 64; idx++ {
+		for _, fk := range []cpu.FaultKind{cpu.FaultOffsetBit, cpu.FaultFlagBit} {
+			for bit := uint(0); bit < 8; bit++ {
+				f := &cpu.Fault{BranchIndex: idx, Kind: fk, Bit: bit}
+				if runWithFault(t, p, tech, dbt.PolicyAllBB, f, want) == outSDC {
+					rcf++
+				}
+			}
+		}
+	}
+	if !(rcf <= cfcss && rcf <= ecca) {
+		t.Errorf("SDC counts: RCF=%d CFCSS=%d ECCA=%d; RCF must not lose", rcf, cfcss, ecca)
+	}
+	if cfcss == 0 && ecca == 0 {
+		t.Error("baselines unexpectedly perfect; the comparison is vacuous")
+	}
+}

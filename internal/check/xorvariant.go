@@ -1,0 +1,97 @@
+package check
+
+// The Section 5.1 ablation: EdgCF with xor-based signature updates, the
+// straightforward port of the paper's Figure 6. On this ISA, as on IA32,
+// xor writes the flags register, so the naive variant silently changes
+// program behavior (the re-emitted conditional branch reads clobbered
+// flags); making it correct requires bracketing every update with
+// pushf/popf, which costs more than switching the update to lea — which is
+// precisely the argument the paper makes for its lea implementation.
+
+import (
+	"repro/internal/dbt"
+	"repro/internal/isa"
+)
+
+// EdgCFXor is EdgCF with xor updates instead of lea.
+type EdgCFXor struct {
+	Style dbt.UpdateStyle
+	// PreserveFlags brackets every update with pushf/popf. Without it the
+	// technique is NOT transparent: any conditional branch whose flags are
+	// produced before a signature update misbehaves.
+	PreserveFlags bool
+}
+
+// Name implements dbt.Technique.
+func (t *EdgCFXor) Name() string {
+	if t.PreserveFlags {
+		return "EdgCF-xor+pushf"
+	}
+	return "EdgCF-xor"
+}
+
+// Prologue implements dbt.Technique.
+func (t *EdgCFXor) Prologue(entry uint32) []dbt.RegInit {
+	return []dbt.RegInit{{Reg: regPC, Val: dbt.SigOf(entry)}}
+}
+
+// xorUpdate emits PC'-space xor of an immediate, with optional flag
+// preservation.
+func (t *EdgCFXor) xorUpdate(e *dbt.Emitter, dst isa.Reg, delta int32) {
+	if t.PreserveFlags {
+		e.Emit(isa.Instr{Op: isa.OpPushF})
+	}
+	e.Emit(isa.Instr{Op: isa.OpXorI, RD: dst, Imm: delta})
+	if t.PreserveFlags {
+		e.Emit(isa.Instr{Op: isa.OpPopF})
+	}
+}
+
+// EmitHead implements dbt.Technique: "xor PC', L1" folds the edge
+// signature to zero (Figure 6 verbatim).
+func (t *EdgCFXor) EmitHead(e *dbt.Emitter, guestStart uint32, check bool) {
+	t.xorUpdate(e, regPC, dbt.SigOf(guestStart))
+	if check {
+		emitCheck(e, regPC, 0)
+	}
+}
+
+// EmitFinalCheck implements dbt.Technique.
+func (t *EdgCFXor) EmitFinalCheck(e *dbt.Emitter, guestStart uint32) {
+	emitCheck(e, regPC, 0)
+}
+
+// EmitTail implements dbt.Technique.
+func (t *EdgCFXor) EmitTail(e *dbt.Emitter, guestStart uint32, term dbt.TermInfo) {
+	emitCommonTail(e, guestStart, term, edgcfXorOps{t}, t.Style)
+}
+
+type edgcfXorOps struct{ t *EdgCFXor }
+
+func (o edgcfXorOps) updateDirect(e *dbt.Emitter, guestStart uint32, target uint32) {
+	o.t.xorUpdate(e, regPC, dbt.SigOf(target))
+}
+
+func (o edgcfXorOps) updateIndirect(e *dbt.Emitter, guestStart uint32) {
+	// AUX = dynamic target + 1 (lea, flag-free), then PC' ^= AUX.
+	e.Lea(regAUX, regSCR, 1)
+	if o.t.PreserveFlags {
+		e.Emit(isa.Instr{Op: isa.OpPushF})
+	}
+	e.Emit(isa.Instr{Op: isa.OpXor, RD: regPC, RS1: regAUX})
+	if o.t.PreserveFlags {
+		e.Emit(isa.Instr{Op: isa.OpPopF})
+	}
+}
+
+func (o edgcfXorOps) condDelta(guestStart, target uint32) int32 { return dbt.SigOf(target) }
+func (edgcfXorOps) condReg() isa.Reg                            { return regPC }
+
+func (o edgcfXorOps) condLoad(e *dbt.Emitter, dst isa.Reg, delta int32) {
+	if dst != regPC {
+		e.Emit(isa.Instr{Op: isa.OpMovRR, RD: dst, RS1: regPC})
+	}
+	o.t.xorUpdate(e, dst, delta)
+}
+
+func (edgcfXorOps) preCond(*dbt.Emitter, uint32) {}

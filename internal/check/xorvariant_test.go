@@ -1,0 +1,81 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+)
+
+// TestXorVariantBreaksTransparency is the Section 5.1 argument run as
+// code: the naive xor-update EdgCF clobbers the flags between the guest's
+// compare and its branch, changing program behavior.
+func TestXorVariantBreaksTransparency(t *testing.T) {
+	p := mustAssemble(t, transparencyPrograms["diamond"])
+	want := nativeOut(t, p)
+	for _, style := range []dbt.UpdateStyle{dbt.UpdateJcc, dbt.UpdateCmov} {
+		tech := &EdgCFXor{Style: style, PreserveFlags: false}
+		d := dbt.New(p, dbt.Options{Technique: tech})
+		res := d.Run(nil, 100_000_000)
+		broken := res.Stop.Reason != cpu.StopHalt || !equalOut(res.Output, want)
+		if !broken {
+			t.Errorf("%s/%s: naive xor updates should corrupt flag-dependent behavior", tech.Name(), style)
+		}
+	}
+}
+
+// TestXorVariantWithPushfIsTransparent: bracketing every update with
+// pushf/popf restores correctness on every program, style and policy.
+func TestXorVariantWithPushfIsTransparent(t *testing.T) {
+	for name, src := range transparencyPrograms {
+		p := mustAssemble(t, src)
+		want := nativeOut(t, p)
+		for _, style := range []dbt.UpdateStyle{dbt.UpdateJcc, dbt.UpdateCmov} {
+			for _, pol := range dbt.Policies() {
+				tech := &EdgCFXor{Style: style, PreserveFlags: true}
+				d := dbt.New(p, dbt.Options{Technique: tech, Policy: pol})
+				res := d.Run(nil, 100_000_000)
+				if res.Stop.Reason != cpu.StopHalt || !equalOut(res.Output, want) {
+					t.Errorf("%s/%s/%s/%s: stop %v output %v want %v",
+						name, tech.Name(), style, pol, res.Stop, res.Output, want)
+				}
+			}
+		}
+	}
+}
+
+// TestXorVariantCostsMoreThanLea: the safe xor variant pays pushf/popf on
+// every update, making lea the strictly better implementation — the
+// paper's conclusion ("the lea instruction does not have side-effects and
+// has performance similar to the xor").
+func TestXorVariantCostsMoreThanLea(t *testing.T) {
+	p := mustAssemble(t, transparencyPrograms["nested-loops"])
+	cycles := func(tech dbt.Technique) uint64 {
+		d := dbt.New(p, dbt.Options{Technique: tech})
+		res := d.Run(nil, 100_000_000)
+		if res.Stop.Reason != cpu.StopHalt {
+			t.Fatalf("%s: %v", tech.Name(), res.Stop)
+		}
+		return res.Cycles
+	}
+	lea := cycles(&EdgCF{Style: dbt.UpdateJcc})
+	xor := cycles(&EdgCFXor{Style: dbt.UpdateJcc, PreserveFlags: true})
+	if xor <= lea {
+		t.Errorf("safe xor variant (%d cycles) should cost more than lea (%d)", xor, lea)
+	}
+	// And by a real margin: two 5-cycle stack operations per update.
+	if float64(xor) < 1.1*float64(lea) {
+		t.Errorf("xor variant margin too small: %d vs %d", xor, lea)
+	}
+}
+
+// TestXorVariantStillDetects: flag preservation does not weaken coverage —
+// the xor algebra detects the same mistaken branches as the lea form.
+func TestXorVariantStillDetects(t *testing.T) {
+	p := mustAssemble(t, mistakenBranchProgram)
+	want := nativeOut(t, p)
+	tech := &EdgCFXor{Style: dbt.UpdateCmov, PreserveFlags: true}
+	if sdc := sweepFlagFaults(t, p, tech, want); sdc != 0 {
+		t.Errorf("xor variant: %d silent corruptions from flag faults, want 0", sdc)
+	}
+}

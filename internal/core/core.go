@@ -1,0 +1,172 @@
+// Package core is the library facade: one import that ties the guest ISA,
+// assembler, native machine, dynamic binary translator, checking
+// techniques, error model, fault injector and workload suite together
+// behind a small string-configured API. The cmd/ tools and examples/ are
+// thin wrappers over this package.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+	"repro/internal/errmodel"
+	"repro/internal/inject"
+	"repro/internal/isa"
+	"repro/internal/sig"
+	"repro/internal/workloads"
+
+	"repro/internal/check"
+)
+
+// Config selects a protection configuration by name, as the CLIs expose it.
+type Config struct {
+	// Technique: "none", "EdgCF", "RCF" or "ECF".
+	Technique string
+	// Style: "Jcc" (default) or "CMOVcc".
+	Style string
+	// Policy: "ALLBB" (default), "RET-BE", "RET" or "END".
+	Policy string
+}
+
+// ParseStyle resolves an update-style name.
+func ParseStyle(s string) (dbt.UpdateStyle, error) {
+	switch strings.ToLower(s) {
+	case "", "jcc":
+		return dbt.UpdateJcc, nil
+	case "cmov", "cmovcc":
+		return dbt.UpdateCmov, nil
+	}
+	return 0, fmt.Errorf("unknown update style %q (want Jcc or CMOVcc)", s)
+}
+
+// ParsePolicy resolves a checking-policy name.
+func ParsePolicy(s string) (dbt.Policy, error) {
+	switch strings.ToUpper(s) {
+	case "", "ALLBB":
+		return dbt.PolicyAllBB, nil
+	case "RET-BE", "RETBE":
+		return dbt.PolicyRetBE, nil
+	case "RET":
+		return dbt.PolicyRet, nil
+	case "END":
+		return dbt.PolicyEnd, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want ALLBB, RET-BE, RET or END)", s)
+}
+
+// Resolve materializes the configuration.
+func (c Config) Resolve() (dbt.Technique, dbt.Policy, error) {
+	style, err := ParseStyle(c.Style)
+	if err != nil {
+		return nil, 0, err
+	}
+	tech, err := check.New(c.Technique, style)
+	if err != nil {
+		return nil, 0, err
+	}
+	pol, err := ParsePolicy(c.Policy)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tech, pol, nil
+}
+
+// Workload builds a named SPEC2000-shaped benchmark at the given dynamic
+// scale (1.0 = the full experiment size).
+func Workload(name string, scale float64) (*isa.Program, error) {
+	prof, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return prof.Build(scale)
+}
+
+// WorkloadNames lists the 26 benchmark names in figure order.
+func WorkloadNames() []string { return workloads.Names() }
+
+// Assemble parses assembly text into a guest program.
+func Assemble(name, src string) (*isa.Program, error) { return asm.Assemble(name, src) }
+
+// Disassemble renders a program as assembly text.
+func Disassemble(p *isa.Program) string { return asm.Disassemble(p) }
+
+// NativeResult reports a native (no translator) run.
+type NativeResult struct {
+	Stop   cpu.Stop
+	Cycles uint64
+	Steps  uint64
+	Output []int32
+}
+
+// RunNative executes a program directly on the simulated machine.
+func RunNative(p *isa.Program, maxSteps uint64) *NativeResult {
+	m := cpu.New()
+	m.Reset(p)
+	stop := m.Run(p.Code, maxSteps)
+	return &NativeResult{
+		Stop:   stop,
+		Cycles: m.Cycles,
+		Steps:  m.Steps,
+		Output: append([]int32(nil), m.Output...),
+	}
+}
+
+// NewDBT prepares a translator for p under the given configuration.
+func NewDBT(p *isa.Program, c Config) (*dbt.DBT, error) {
+	tech, pol, err := c.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	return dbt.New(p, dbt.Options{Technique: tech, Policy: pol}), nil
+}
+
+// RunDBT translates and executes p under the given configuration.
+func RunDBT(p *isa.Program, c Config, maxSteps uint64) (*dbt.Result, error) {
+	d, err := NewDBT(p, c)
+	if err != nil {
+		return nil, err
+	}
+	return d.Run(nil, maxSteps), nil
+}
+
+// AnalyzeErrors runs the paper's Section 2 error model over p.
+func AnalyzeErrors(p *isa.Program, maxSteps uint64) (*errmodel.Table, error) {
+	return errmodel.Analyze(p, maxSteps)
+}
+
+// Inject runs a randomized single-fault campaign under the DBT.
+func Inject(p *isa.Program, c Config, samples int, seed int64) (*inject.Report, error) {
+	tech, pol, err := c.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	return inject.Campaign(p, inject.Config{
+		Technique: tech, Policy: pol, Samples: samples, Seed: seed,
+	})
+}
+
+// VerifyScheme model-checks a technique's signature algebra against the
+// paper's sufficient and necessary conditions on a representative graph
+// (Section 4). Valid names: EdgCF, RCF, ECF, CFCSS, ECCA.
+func VerifyScheme(name string) (sig.Result, error) {
+	g := &sig.Graph{Succs: [][]sig.BlockID{{1}, {2}, {1, 3}, {0, 4}, {}}}
+	var scheme sig.Scheme
+	switch strings.ToLower(name) {
+	case "edgcf":
+		scheme = sig.EdgCF{}
+	case "rcf":
+		scheme = sig.RCF{}
+	case "ecf":
+		scheme = sig.ECF{}
+	case "cfcss":
+		scheme = sig.NewCFCSS(g)
+	case "ecca":
+		scheme = sig.NewECCA(g)
+	default:
+		return sig.Result{}, fmt.Errorf("unknown scheme %q", name)
+	}
+	return sig.Verify(g, scheme), nil
+}

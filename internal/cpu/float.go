@@ -1,0 +1,9 @@
+package cpu
+
+import "math"
+
+// Thin wrappers so machine.go reads at the ISA's level of abstraction:
+// registers hold float32 bit patterns for the FP opcodes.
+
+func float32frombits(b uint32) float32 { return math.Float32frombits(b) }
+func float32bits(f float32) uint32     { return math.Float32bits(f) }

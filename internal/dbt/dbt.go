@@ -1,0 +1,429 @@
+package dbt
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// Options configures a DBT instance.
+type Options struct {
+	// Technique is the control-flow checking instrumentation; nil means
+	// plain translation (the paper's baseline).
+	Technique Technique
+	// Policy selects check placement (ALLBB by default).
+	Policy Policy
+	// NoChaining disables block chaining: every inter-block transfer
+	// dispatches through the translator (ablation knob).
+	NoChaining bool
+	// TraceThreshold is the back-edge dispatch count that triggers hot
+	// trace formation; 0 means the default (50), negative disables the
+	// trace backend.
+	TraceThreshold int
+	// Costs overrides the cost model (default cpu.DefaultCosts).
+	Costs *cpu.CostModel
+	// Body, when non-nil, rewrites block bodies (data-flow checking).
+	Body BodyTransform
+}
+
+const defaultTraceThreshold = 16
+
+// maxBlockScan caps how many guest instructions one translated block may
+// cover (a safety net for malformed images).
+const maxBlockScan = 1 << 14
+
+// TBlock is one translated unit in the code cache: a basic block or a hot
+// trace (superblock).
+type TBlock struct {
+	GuestStart uint32
+	GuestEnd   uint32 // exclusive; for traces, the end of the first block
+	CacheStart uint32
+	CacheEnd   uint32 // exclusive
+	Checked    bool   // whether the policy placed a signature check here
+	IsTrace    bool
+	// GuestBlocks lists the guest block start addresses merged into this
+	// unit (length 1 for plain blocks).
+	GuestBlocks []uint32
+}
+
+func (t *TBlock) String() string {
+	kind := "block"
+	if t.IsTrace {
+		kind = "trace"
+	}
+	return fmt.Sprintf("%s guest=0x%x cache=[0x%x,0x%x)", kind, t.GuestStart, t.CacheStart, t.CacheEnd)
+}
+
+// Stats accumulates translator activity over a DBT's lifetime.
+type Stats struct {
+	BlocksTranslated      int
+	GuestInstrsTranslated uint64
+	TracesFormed          int
+	Dispatches            uint64
+	IndirectLookups       uint64
+	Invalidations         int
+}
+
+// Result describes one completed execution under the DBT.
+type Result struct {
+	Stop   cpu.Stop
+	Cycles uint64
+	Steps  uint64
+	Output []int32
+	Stats  Stats
+	// DirectBranches counts executed direct branches (the fault-site space
+	// for injection campaigns).
+	DirectBranches uint64
+	// CacheSize is the code cache size in instructions at the end of the
+	// run.
+	CacheSize int
+}
+
+// Detected reports whether the run ended with an error detection, either
+// by a software signature check or by the hardware protection.
+func (r *Result) Detected() bool {
+	return r.Stop.Reason == cpu.StopReport || r.Stop.Reason.IsHardwareTrap()
+}
+
+// DBT is the dynamic binary translator. One instance serves one guest
+// program; the code cache persists across Run calls (warm runs skip
+// translation).
+type DBT struct {
+	prog *isa.Program
+	opts Options
+	tech Technique
+
+	cache  []isa.Instr
+	blocks map[uint32]*TBlock // guest start -> current preferred translation
+	tlist  []*TBlock          // cache order
+	stubs  []stub
+
+	// pendingCycles accrues translation cost until the next time the
+	// machine is available to charge it.
+	pendingCycles uint64
+
+	stats Stats
+}
+
+// New prepares a translator for program p.
+func New(p *isa.Program, opts Options) *DBT {
+	if opts.Technique == nil {
+		opts.Technique = None{}
+	}
+	if opts.TraceThreshold == 0 {
+		opts.TraceThreshold = defaultTraceThreshold
+	}
+	if opts.Costs == nil {
+		opts.Costs = cpu.DefaultCosts()
+	}
+	return &DBT{
+		prog:   p,
+		opts:   opts,
+		tech:   opts.Technique,
+		blocks: make(map[uint32]*TBlock),
+	}
+}
+
+// Prog returns the guest program.
+func (d *DBT) Prog() *isa.Program { return d.prog }
+
+// Stats returns translator statistics accumulated so far.
+func (d *DBT) StatsSnapshot() Stats { return d.stats }
+
+// CacheLen returns the current code cache size in instructions.
+func (d *DBT) CacheLen() int { return len(d.cache) }
+
+// Run executes the guest program under the translator. fault, when
+// non-nil, plants a single transient fault (see cpu.Fault). maxSteps bounds
+// execution (a control-flow error can loop forever).
+func (d *DBT) Run(fault *cpu.Fault, maxSteps uint64) *Result {
+	m := cpu.New()
+	m.Costs = d.opts.Costs
+	m.Reset(d.prog)
+	m.Fault = fault
+
+	entry, err := d.ensure(d.prog.Entry)
+	if err != nil {
+		return d.result(m, cpu.Stop{Reason: cpu.StopBadFetch, Detail: err.Error()})
+	}
+	m.Cycles += d.pendingCycles
+	d.pendingCycles = 0
+	// Translator-side prologue: signature registers are initialized by the
+	// runtime, outside the guest-reachable code cache.
+	for _, ri := range d.tech.Prologue(d.prog.Entry) {
+		m.Regs[ri.Reg] = ri.Val
+	}
+	if d.opts.Body != nil {
+		for _, ri := range d.opts.Body.Prologue() {
+			m.Regs[ri.Reg] = ri.Val
+		}
+	}
+	m.IP = entry.CacheStart
+
+	for {
+		stop := m.Run(d.cache, maxSteps)
+		if stop.Reason != cpu.StopTrapOut {
+			return d.result(m, stop)
+		}
+		in := d.cache[stop.IP]
+		if in.Imm == indirectStub {
+			// Indirect-branch lookup service: the guest target address is
+			// in SCR; map it to (and if needed translate) its cache block.
+			m.Cycles += uint64(d.opts.Costs.IndirectLookup)
+			d.stats.IndirectLookups++
+			target := uint32(m.Regs[isa.RegSCR])
+			tb, err := d.ensure(target)
+			if err != nil {
+				// The "address" is not executable guest code: hardware
+				// protection catches the stray transfer.
+				return d.result(m, cpu.Stop{Reason: cpu.StopBadFetch, IP: stop.IP, Detail: err.Error()})
+			}
+			m.Cycles += d.pendingCycles
+			d.pendingCycles = 0
+			m.IP = tb.CacheStart
+			continue
+		}
+		// Direct-edge dispatch through a chaining stub.
+		s := &d.stubs[in.Imm]
+		m.Cycles += uint64(d.opts.Costs.DispatchCost)
+		d.stats.Dispatches++
+		s.count++
+		tb, err := d.ensure(s.guest)
+		if err != nil {
+			return d.result(m, cpu.Stop{Reason: cpu.StopBadFetch, IP: stop.IP, Detail: err.Error()})
+		}
+		// Back-edge stubs are the frontend's profiling points: they keep
+		// dispatching (counting) until the hot threshold fires the trace
+		// backend, and only then chain — to the freshly built trace.
+		profiling := s.backEdge && d.opts.TraceThreshold > 0 && !tb.IsTrace
+		if profiling && s.count >= d.opts.TraceThreshold {
+			if tr := d.formTrace(s.guest); tr != nil {
+				tb = tr
+			}
+			profiling = false
+		}
+		m.Cycles += d.pendingCycles
+		d.pendingCycles = 0
+		if !d.opts.NoChaining && !profiling {
+			// Patch the stub slot into a direct jump; later executions of
+			// this edge bypass the translator entirely. When the stub was
+			// reached through a branch, re-point the branch itself so the
+			// chained transfer costs nothing extra.
+			d.cache[s.slot] = isa.Instr{Op: isa.OpJmp, Imm: isa.OffsetFor(s.slot, tb.CacheStart)}
+			if s.referrer != noReferrer {
+				d.cache[s.referrer].Imm = isa.OffsetFor(s.referrer, tb.CacheStart)
+			}
+			s.chained = true
+		}
+		m.IP = tb.CacheStart
+	}
+}
+
+func (d *DBT) result(m *cpu.Machine, stop cpu.Stop) *Result {
+	st := d.stats
+	return &Result{
+		Stop:           stop,
+		Cycles:         m.Cycles,
+		Steps:          m.Steps,
+		Output:         append([]int32(nil), m.Output...),
+		Stats:          st,
+		DirectBranches: m.DirectBranches,
+		CacheSize:      len(d.cache),
+	}
+}
+
+// ensure returns the translation of the guest block starting at guest,
+// translating it now if needed.
+func (d *DBT) ensure(guest uint32) (*TBlock, error) {
+	if tb, ok := d.blocks[guest]; ok {
+		return tb, nil
+	}
+	if !d.prog.Contains(guest) {
+		return nil, fmt.Errorf("guest address 0x%x outside code", guest)
+	}
+	return d.translate(guest), nil
+}
+
+// scanBlock decodes the guest block starting at guest: the instruction
+// range, the terminator description, and the address of the terminator.
+func (d *DBT) scanBlock(guest uint32) (end uint32, term TermInfo) {
+	p := d.prog
+	addr := guest
+	for n := 0; n < maxBlockScan; n++ {
+		if addr >= p.Len() {
+			// Fell off the code image; executing past the end traps, which
+			// the runtime turns into a hardware detection.
+			return addr, TermInfo{Kind: TermFall, Fall: addr}
+		}
+		in := p.Code[addr]
+		if in.Op.IsTerminator() {
+			switch in.Op {
+			case isa.OpJmp:
+				return addr + 1, TermInfo{Kind: TermJmp, Taken: in.Target(addr)}
+			case isa.OpJcc:
+				return addr + 1, TermInfo{Kind: TermCond, Cond: in.Cond(), Taken: in.Target(addr), Fall: addr + 1}
+			case isa.OpJrz:
+				// Guest jrz is a conditional branch on a register; translate
+				// it as a register-zero conditional (rare in guest code).
+				return addr + 1, TermInfo{Kind: TermCond, Cond: isa.CondEQ, Taken: in.Target(addr), Fall: addr + 1}
+			case isa.OpCall:
+				return addr + 1, TermInfo{Kind: TermCall, Taken: in.Target(addr), Fall: addr + 1}
+			case isa.OpRet:
+				return addr + 1, TermInfo{Kind: TermRet}
+			case isa.OpJmpR:
+				return addr + 1, TermInfo{Kind: TermJmpR, Reg: in.RS1}
+			case isa.OpCallR:
+				return addr + 1, TermInfo{Kind: TermCallR, Reg: in.RS1, Fall: addr + 1}
+			case isa.OpHalt:
+				return addr + 1, TermInfo{Kind: TermHalt}
+			}
+		}
+		addr++
+	}
+	return addr, TermInfo{Kind: TermFall, Fall: addr}
+}
+
+// jrz guest blocks: the scan above translates OpJrz with CondEQ, but the
+// condition must come from the tested register, not the flags. The body
+// copy handles this by materializing a compare; see translateBody.
+
+// checkedByPolicy decides whether the block gets a signature check.
+func (d *DBT) checkedByPolicy(guestStart uint32, end uint32, term TermInfo) bool {
+	switch d.opts.Policy {
+	case PolicyAllBB:
+		return true
+	case PolicyRetBE:
+		if term.Kind == TermRet {
+			return true
+		}
+		if (term.Kind == TermJmp || term.Kind == TermCond) && term.Taken <= end-1 {
+			return true
+		}
+		return false
+	case PolicyRet:
+		return term.Kind == TermRet
+	default: // PolicyEnd
+		return false
+	}
+}
+
+// translate emits the guest block starting at guest into the code cache.
+func (d *DBT) translate(guest uint32) *TBlock {
+	end, term := d.scanBlock(guest)
+	tb := &TBlock{
+		GuestStart:  guest,
+		GuestEnd:    end,
+		CacheStart:  uint32(len(d.cache)),
+		GuestBlocks: []uint32{guest},
+	}
+	// Register before emitting the tail so self-loops chain to themselves.
+	d.blocks[guest] = tb
+	d.tlist = append(d.tlist, tb)
+
+	e := &Emitter{d: d}
+	d.emitOne(e, guest, end, term)
+	tb.Checked = d.checkedByPolicy(guest, end, term)
+	tb.CacheEnd = uint32(len(d.cache))
+	d.stats.BlocksTranslated++
+	d.stats.GuestInstrsTranslated += uint64(end - guest)
+	// Translation cost accrues into a pending pool; the run loop charges it
+	// to the machine at the dispatch that triggered translation.
+	d.pendingCycles += uint64(d.opts.Costs.TranslateUnit) * uint64(tb.CacheEnd-tb.CacheStart)
+	return tb
+}
+
+// emitOne emits head instrumentation, the block body, and the instrumented
+// tail for one guest block.
+func (d *DBT) emitOne(e *Emitter, guest, end uint32, term TermInfo) {
+	check := d.checkedByPolicy(guest, end, term)
+	d.tech.EmitHead(e, guest, check)
+
+	bodyEnd := end
+	if term.Kind != TermFall {
+		bodyEnd = end - 1 // terminator is re-emitted by the technique
+	}
+	for a := guest; a < bodyEnd; a++ {
+		in := d.prog.Code[a]
+		if in.Op == isa.OpHalt {
+			// Unreachable: halt is a terminator.
+			continue
+		}
+		if d.opts.Body != nil {
+			d.opts.Body.TransformBody(e, in)
+			continue
+		}
+		e.Emit(in)
+	}
+	if term.Kind == TermCond && d.prog.Contains(end-1) && d.prog.Code[end-1].Op == isa.OpJrz {
+		// Rewrite guest jrz into a flags-based conditional the techniques
+		// can instrument: test the register and branch on EQ.
+		r := d.prog.Code[end-1].RS1
+		e.Emit(isa.Instr{Op: isa.OpCmpI, RD: r, Imm: 0})
+	}
+	if term.Kind == TermHalt {
+		d.tech.EmitFinalCheck(e, guest)
+	}
+	preStubs := len(d.stubs)
+	d.tech.EmitTail(e, guest, term)
+	// Mark loop-closing stubs for the hot-trace trigger.
+	for i := preStubs; i < len(d.stubs); i++ {
+		if d.stubs[i].guest <= guest {
+			d.stubs[i].backEdge = true
+		}
+	}
+}
+
+// Locate maps a cache address to its translated block, if any. The fault
+// injector uses this to classify wild branch targets into the paper's
+// categories.
+func (d *DBT) Locate(cacheAddr uint32) (*TBlock, bool) {
+	// tlist is in cache order; binary search the containing range.
+	lo, hi := 0, len(d.tlist)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		tb := d.tlist[mid]
+		switch {
+		case cacheAddr < tb.CacheStart:
+			hi = mid
+		case cacheAddr >= tb.CacheEnd:
+			lo = mid + 1
+		default:
+			return tb, true
+		}
+	}
+	return nil, false
+}
+
+// Invalidate flushes the entire code cache. The paper's translator removes
+// translations whose guest code was overwritten (detected by write
+// protection); this implementation models the recovery with a full flush,
+// after which execution naturally retranslates on demand.
+func (d *DBT) Invalidate() {
+	d.cache = nil
+	d.blocks = make(map[uint32]*TBlock)
+	d.tlist = nil
+	d.stubs = nil
+	d.stats.Invalidations++
+}
+
+// SelfModify overwrites one guest instruction, modeling self-modifying
+// code: the write triggers the (simulated) write-protection fault and the
+// translator drops stale translations.
+func (d *DBT) SelfModify(addr uint32, in isa.Instr) error {
+	if !d.prog.Contains(addr) {
+		return fmt.Errorf("self-modify outside code: 0x%x", addr)
+	}
+	d.prog.Code[addr] = in
+	d.Invalidate()
+	return nil
+}
+
+// CacheInstr returns the translated instruction at a cache address, for
+// diagnostics.
+func (d *DBT) CacheInstr(addr uint32) isa.Instr {
+	if addr < uint32(len(d.cache)) {
+		return d.cache[addr]
+	}
+	return isa.Instr{}
+}

@@ -1,0 +1,212 @@
+// Package dbt implements the paper's dynamic binary translator: guest
+// binaries are translated on demand, one basic block at a time, into a code
+// cache in the target ISA (which has the extra registers the checking
+// techniques need), executed by the simulated CPU, with block chaining,
+// hot-trace formation, an indirect-branch lookup service, and
+// self-modifying-code invalidation. Control-flow checking techniques plug
+// in as Technique implementations that instrument every translated block.
+package dbt
+
+import (
+	"repro/internal/isa"
+)
+
+// Policy selects where signature checks are placed (Section 6 of the
+// paper). Signature updates are emitted in every block regardless: once the
+// signature goes wrong it stays wrong, so sparse checking trades error
+// report latency for speed.
+type Policy int
+
+// Checking policies, ordered by checking frequency.
+const (
+	// PolicyAllBB checks the signature in every basic block.
+	PolicyAllBB Policy = iota
+	// PolicyRetBE checks in blocks with back edges and blocks with return
+	// instructions, bounding report latency even inside loops.
+	PolicyRetBE
+	// PolicyRet checks only in blocks with return instructions.
+	PolicyRet
+	// PolicyEnd checks only at the end of the application.
+	PolicyEnd
+)
+
+var policyNames = [...]string{"ALLBB", "RET-BE", "RET", "END"}
+
+// String names the policy as the paper does.
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return "policy(?)"
+}
+
+// Policies lists all checking policies in paper order.
+func Policies() []Policy { return []Policy{PolicyAllBB, PolicyRetBE, PolicyRet, PolicyEnd} }
+
+// UpdateStyle selects the instruction used for the conditional signature
+// update at two-way branches (the paper's Figure 14 comparison).
+type UpdateStyle int
+
+// Update styles.
+const (
+	// UpdateJcc duplicates the conditional branch to pick the successor
+	// signature: cheap, but the duplicate branch is itself a new fault
+	// site ("unsafe" for EdgCF/ECF; RCF's regions protect it).
+	UpdateJcc UpdateStyle = iota
+	// UpdateCmov selects the successor signature with a conditional move:
+	// no new branch, but cmov costs more (Figure 8).
+	UpdateCmov
+)
+
+// String names the update style as the paper does.
+func (s UpdateStyle) String() string {
+	if s == UpdateJcc {
+		return "Jcc"
+	}
+	return "CMOVcc"
+}
+
+// TermKind classifies a guest block terminator for instrumentation.
+type TermKind int
+
+// Terminator kinds.
+const (
+	TermFall  TermKind = iota // block falls through into a leader
+	TermJmp                   // unconditional direct jump
+	TermCond                  // conditional direct branch
+	TermCall                  // direct call (pushes guest return address)
+	TermRet                   // return (indirect)
+	TermJmpR                  // indirect jump through a register
+	TermCallR                 // indirect call through a register
+	TermHalt                  // program end
+)
+
+// TermInfo describes the control transfer a technique must emit at the end
+// of a translated block.
+type TermInfo struct {
+	Kind TermKind
+	// Cond is the branch condition for TermCond.
+	Cond isa.Cond
+	// Taken is the guest target of the branch/jump/call (TermJmp, TermCond,
+	// TermCall).
+	Taken uint32
+	// Fall is the guest fall-through address (TermFall, TermCond; for
+	// TermCall and TermCallR it is the guest return address).
+	Fall uint32
+	// Reg is the target register for TermJmpR/TermCallR.
+	Reg isa.Reg
+}
+
+// Technique instruments translated blocks with signature generation and
+// checking code. Implementations live in internal/check; the DBT itself
+// only knows the plug points.
+//
+// Register convention: techniques may freely use isa.RegPC, isa.RegRTS,
+// isa.RegAUX and isa.RegSCR (target-only registers invisible to the guest)
+// and must not modify guest registers or the flags register.
+type Technique interface {
+	// Name identifies the technique ("EdgCF", "RCF", "ECF", "none").
+	Name() string
+	// Prologue returns the register initializations that establish the
+	// signature invariant before the entry block runs. The runtime applies
+	// them directly: translator-owned setup lives outside the code cache,
+	// exactly as a real DBT's runtime is outside the guest-reachable
+	// address space (so a wild branch cannot land on a signature-reset
+	// gadget).
+	Prologue(entry uint32) []RegInit
+	// EmitHead emits block-entry instrumentation for the guest block
+	// starting at guestStart. check selects whether this block verifies
+	// the signature (per Policy) in addition to updating it.
+	EmitHead(e *Emitter, guestStart uint32, check bool)
+	// EmitTail emits the signature update for the transition described by
+	// term plus the control transfer itself, using the Emitter's exit
+	// helpers. The technique owns the terminator so that Jcc-style updates
+	// can fold the update into the branch.
+	EmitTail(e *Emitter, guestStart uint32, term TermInfo)
+	// EmitFinalCheck emits a signature check immediately before program
+	// exit (used by every policy so END has at least one check).
+	EmitFinalCheck(e *Emitter, guestStart uint32)
+}
+
+// BodyTransform rewrites the straight-line body instructions of translated
+// blocks — the plug point for data-flow checking (SWIFT-style instruction
+// duplication), which the paper lists as future work. It composes with any
+// control-flow Technique: the transform owns the block bodies, the
+// technique owns heads and tails.
+type BodyTransform interface {
+	// Name identifies the transform.
+	Name() string
+	// Prologue returns register initializations applied by the runtime
+	// before entry (e.g. zeroing the shadow registers).
+	Prologue() []RegInit
+	// TransformBody emits the replacement for one guest body instruction.
+	TransformBody(e *Emitter, in isa.Instr)
+}
+
+// SigOf maps a guest block address to its signature. The paper uses "the
+// address of the first instruction in a basic block as the basic block
+// signature" so the indirect-branch address-to-signature mapping is free;
+// the +1 keeps every signature nonzero, which the EdgCF algebra requires
+// (tail regions are represented by zero).
+func SigOf(guestStart uint32) int32 { return int32(guestStart) + 1 }
+
+// RegInit is one register initialization performed by the runtime before
+// entering translated code.
+type RegInit struct {
+	Reg isa.Reg
+	Val int32
+}
+
+// None is the identity technique: plain translation with no checking. It
+// is the baseline against which the paper reports slowdowns.
+type None struct{}
+
+// Name implements Technique.
+func (None) Name() string { return "none" }
+
+// Prologue implements Technique.
+func (None) Prologue(uint32) []RegInit { return nil }
+
+// EmitHead implements Technique.
+func (None) EmitHead(*Emitter, uint32, bool) {}
+
+// EmitFinalCheck implements Technique.
+func (None) EmitFinalCheck(*Emitter, uint32) {}
+
+// EmitTail implements Technique: it only performs the control transfer.
+func (None) EmitTail(e *Emitter, guestStart uint32, term TermInfo) {
+	EmitPlainTail(e, term)
+}
+
+// EmitPlainTail emits the un-instrumented control transfer for term. It is
+// exported so techniques can fall back to it for transfers they do not
+// specialize.
+func EmitPlainTail(e *Emitter, term TermInfo) {
+	switch term.Kind {
+	case TermFall:
+		e.ExitDirect(term.Fall)
+	case TermJmp:
+		e.ExitDirect(term.Taken)
+	case TermCond:
+		// Taken arm first, fall arm last (layout contract; see Emitter).
+		f := e.JccFwd(term.Cond.Negate())
+		e.ExitDirect(term.Taken)
+		e.Bind(f)
+		e.ExitDirect(term.Fall)
+	case TermCall:
+		e.PushGuestReturn(term.Fall)
+		e.ExitDirect(term.Taken)
+	case TermRet:
+		e.Emit(isa.Instr{Op: isa.OpPop, RD: isa.RegSCR})
+		e.ExitIndirect()
+	case TermJmpR:
+		e.Emit(isa.Instr{Op: isa.OpMovRR, RD: isa.RegSCR, RS1: term.Reg})
+		e.ExitIndirect()
+	case TermCallR:
+		e.Emit(isa.Instr{Op: isa.OpMovRR, RD: isa.RegSCR, RS1: term.Reg})
+		e.PushGuestReturn(term.Fall)
+		e.ExitIndirect()
+	case TermHalt:
+		e.Emit(isa.Instr{Op: isa.OpHalt})
+	}
+}

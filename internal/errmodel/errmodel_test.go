@@ -1,0 +1,245 @@
+package errmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestClassify(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+    movi ecx, 3      ; B0: 0
+loop:
+    addi eax, 1      ; B1: 1-4
+    subi ecx, 1
+    cmpi ecx, 0
+    jgt loop
+    out eax          ; B2: 5-6
+    halt
+`)
+	g := cfg.Build(p)
+	// Branch at address 4 (jgt) lives in B1 [1,5).
+	cases := []struct {
+		target uint32
+		want   Category
+	}{
+		{1, CatB},       // beginning of same block
+		{2, CatC},       // middle of same block
+		{3, CatC},       // middle of same block
+		{0, CatD},       // beginning of other block (B0)
+		{5, CatD},       // beginning of other block (B2)
+		{6, CatE},       // middle of other block
+		{1000, CatF},    // outside code
+		{1 << 30, CatF}, // far outside
+	}
+	for _, c := range cases {
+		if got := Classify(g, 4, c.target); got != c.want {
+			t.Errorf("Classify(4, %d) = %v, want %v", c.target, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeAccounting(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+    movi ecx, 4
+loop:
+    subi ecx, 1
+    cmpi ecx, 0
+    jgt loop
+    halt
+`)
+	tab, err := Analyze(p, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The jgt executes 4 times: 3 taken, 1 not taken.
+	if tab.Branches != 4 {
+		t.Fatalf("branches = %d, want 4", tab.Branches)
+	}
+	// Sites: each execution has 32 offset + 5 flag sites.
+	want := uint64(4 * (isa.OffsetBits + isa.NumFlagBits))
+	if tab.Total != want {
+		t.Errorf("total sites = %d, want %d", tab.Total, want)
+	}
+	// Not-taken address flips are all No Error.
+	if got := tab.Counts[CatNoError][0][0]; got != isa.OffsetBits {
+		t.Errorf("not-taken addr no-error = %d, want %d", got, isa.OffsetBits)
+	}
+	// Probabilities sum to 1.
+	var sum float64
+	for c := Category(0); c < NumCategories; c++ {
+		sum += tab.CategoryProb(c)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probability sum = %v", sum)
+	}
+}
+
+func TestMistakenBranchesClassifiedA(t *testing.T) {
+	// jeq with Z set: flipping Z (and only Z among the condition-relevant
+	// bits) changes the direction.
+	p := mustAssemble(t, `
+    movi eax, 1
+    cmpi eax, 1
+    jeq done
+    nop
+done:
+    halt
+`)
+	tab, err := Analyze(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.CategoryProb(CatA) == 0 {
+		t.Error("no category A sites found for a conditional branch")
+	}
+	// A-sites from a taken branch are flag faults.
+	if tab.Counts[CatA][1][1] == 0 {
+		t.Error("taken/flags A cell empty")
+	}
+	if tab.Counts[CatA][0][0] != 0 || tab.Counts[CatA][1][0] != 0 {
+		t.Error("address flips cannot produce category A")
+	}
+}
+
+func TestUnconditionalBranchesHaveNoFlagSites(t *testing.T) {
+	p := mustAssemble(t, `
+    jmp over
+over:
+    halt
+`)
+	tab, err := Analyze(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Total != isa.OffsetBits {
+		t.Errorf("total = %d, want %d (offset bits only)", tab.Total, isa.OffsetBits)
+	}
+	for c := Category(0); c < NumCategories; c++ {
+		if tab.Counts[c][1][1]+tab.Counts[c][0][1] != 0 {
+			t.Errorf("flag sites recorded for unconditional branch (cat %v)", c)
+		}
+	}
+}
+
+func TestSelfLoopProducesCategoryC(t *testing.T) {
+	// A single-block loop: low-bit offset flips land inside the same
+	// block — the mechanism behind the paper's high category C for
+	// SPEC-Fp (big blocks, tight loops).
+	p := mustAssemble(t, `
+main:
+    movi ecx, 100
+loop:
+    addi eax, 1
+    addi eax, 2
+    addi eax, 3
+    addi eax, 4
+    addi eax, 5
+    addi eax, 6
+    subi ecx, 1
+    cmpi ecx, 0
+    jgt loop
+    halt
+`)
+	tab, err := Analyze(p, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.CategoryProb(CatC) == 0 {
+		t.Error("self-loop should produce category C sites")
+	}
+	// Category B needs a flip landing exactly on the block start — rare by
+	// construction (the paper measures ~0.1%), so no assertion on it here.
+	// High offset bits leave the tiny code region: F dominates.
+	if tab.CategoryProb(CatF) < tab.CategoryProb(CatC) {
+		t.Error("tiny program: F should dominate C")
+	}
+}
+
+func TestNormalizedSumsToOne(t *testing.T) {
+	p := mustAssemble(t, `
+main:
+    movi ecx, 50
+loop:
+    addi eax, 1
+    cmpi eax, 3
+    jlt skip
+    movi eax, 0
+skip:
+    subi ecx, 1
+    cmpi ecx, 0
+    jgt loop
+    halt
+`)
+	tab, err := Analyze(p, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := tab.Normalized()
+	var sum float64
+	for _, v := range norm {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("normalized sum = %v", sum)
+	}
+	// E should beat B in any multi-block program (paper's headline shape).
+	if norm[CatE] <= norm[CatB] {
+		t.Errorf("E (%v) should exceed B (%v)", norm[CatE], norm[CatB])
+	}
+}
+
+func TestAddMerge(t *testing.T) {
+	p := mustAssemble(t, "main:\n movi ecx, 2\nl:\n subi ecx, 1\n cmpi ecx, 0\n jgt l\n halt\n")
+	t1, err := Analyze(p, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := &Table{}
+	t2.Add(t1)
+	t2.Add(t1)
+	if t2.Total != 2*t1.Total || t2.Branches != 2*t1.Branches {
+		t.Error("Add did not merge counts")
+	}
+	if math.Abs(t2.CategoryProb(CatF)-t1.CategoryProb(CatF)) > 1e-12 {
+		t.Error("probabilities must be invariant under self-merge")
+	}
+}
+
+func TestAnalyzeFailsOnBrokenProgram(t *testing.T) {
+	p := &isa.Program{Name: "spin", Code: []isa.Instr{{Op: isa.OpJmp, Imm: -1}}}
+	if _, err := Analyze(p, 100); err == nil {
+		t.Error("non-halting program should fail analysis")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	p := mustAssemble(t, "main:\n movi ecx, 2\nl:\n subi ecx, 1\n cmpi ecx, 0\n jgt l\n halt\n")
+	tab, err := Analyze(p, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := FormatFigure2("Figure 2 - test", tab)
+	if !strings.Contains(f2, "No Error") || !strings.Contains(f2, "Tk/Addr") {
+		t.Errorf("figure 2 format:\n%s", f2)
+	}
+	f3 := FormatFigure3("Figure 3 - test", tab)
+	if !strings.Contains(f3, "%") {
+		t.Errorf("figure 3 format:\n%s", f3)
+	}
+}

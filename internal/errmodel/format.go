@@ -1,0 +1,46 @@
+package errmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatFigure2 renders a table in the layout of the paper's Figure 2:
+// rows per category, columns Taken/Not-taken × Addr/Flags plus totals.
+func FormatFigure2(title string, t *Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s %10s %10s %12s %12s %10s\n",
+		"Category", "Tk/Addr", "Tk/Flags", "NotTk/Addr", "NotTk/Flags", "Total")
+	pct := func(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+	var colTot [4]float64
+	for c := Category(0); c < NumCategories; c++ {
+		ta := t.Prob(c, true, false)
+		tf := t.Prob(c, true, true)
+		na := t.Prob(c, false, false)
+		nf := t.Prob(c, false, true)
+		colTot[0] += ta
+		colTot[1] += tf
+		colTot[2] += na
+		colTot[3] += nf
+		fmt.Fprintf(&b, "%-10s %10s %10s %12s %12s %10s\n",
+			c, pct(ta), pct(tf), pct(na), pct(nf), pct(ta+tf+na+nf))
+	}
+	fmt.Fprintf(&b, "%-10s %10s %10s %12s %12s %10s\n",
+		"Total", pct(colTot[0]), pct(colTot[1]), pct(colTot[2]), pct(colTot[3]),
+		pct(colTot[0]+colTot[1]+colTot[2]+colTot[3]))
+	fmt.Fprintf(&b, "(direct branch executions: %d; indirect excluded: %d)\n",
+		t.Branches, t.IndirectSkipped)
+	return b.String()
+}
+
+// FormatFigure3 renders the normalized A-E probabilities (Figure 3).
+func FormatFigure3(title string, t *Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (normalized over categories A-E)\n", title)
+	norm := t.Normalized()
+	for _, c := range SDCCategories() {
+		fmt.Fprintf(&b, "  %-2s %7.2f%%\n", c, norm[c]*100)
+	}
+	return b.String()
+}

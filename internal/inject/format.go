@@ -1,0 +1,35 @@
+package inject
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/errmodel"
+)
+
+// FormatReport renders one campaign as a per-category outcome table.
+func FormatReport(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s / %s / %s — %d samples (%d not fired)\n",
+		r.Program, r.Technique, r.Policy, r.Samples, r.NotFired)
+	fmt.Fprintf(&b, "%-9s %8s %8s %8s %8s %8s %9s\n",
+		"Category", "det-sw", "det-hw", "benign", "SDC", "hang", "coverage")
+	cats := append(errmodel.SDCCategories(), errmodel.CatF, errmodel.CatNoError, errmodel.CatData)
+	for _, c := range cats {
+		a := r.ByCat[c]
+		if a == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-9s %8d %8d %8d %8d %8d %8.1f%%\n",
+			c, a.Count[OutDetectedSW], a.Count[OutDetectedHW], a.Count[OutBenign],
+			a.Count[OutSDC], a.Count[OutHang], a.Coverage()*100)
+	}
+	t := &r.Totals
+	fmt.Fprintf(&b, "%-9s %8d %8d %8d %8d %8d %8.1f%%\n",
+		"total", t.Count[OutDetectedSW], t.Count[OutDetectedHW], t.Count[OutBenign],
+		t.Count[OutSDC], t.Count[OutHang], t.Coverage()*100)
+	if r.LatencyN > 0 {
+		fmt.Fprintf(&b, "mean detection latency: %.0f instructions\n", r.MeanLatency())
+	}
+	return b.String()
+}

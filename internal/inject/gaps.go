@@ -1,0 +1,43 @@
+package inject
+
+import (
+	"repro/internal/dbt"
+	"repro/internal/isa"
+)
+
+// IsResidualGap reports whether a fault landing at the given cache address
+// falls into one of the two coverage gaps that no signature-monitoring
+// scheme closes, both acknowledged by the paper's assumptions:
+//
+//   - the exit gap (Assumption 2): landing on the program-exit instruction
+//     itself, past every check — the error reaches no CHECK_SIG at all;
+//   - the check-atomicity gap (Assumption 1): landing within the few
+//     instructions after a check's report point (past the jcxz, on or
+//     after the ECX restore), where the signature chain stays consistent
+//     while the staged registers may corrupt guest state.
+//
+// Injection campaigns use it to separate these known residuals from
+// genuine coverage failures.
+func IsResidualGap(d *dbt.DBT, target uint32) bool {
+	if d.CacheInstr(target).Op == isa.OpHalt {
+		return true
+	}
+	// Landing shortly after a report marks a jump past a check sequence;
+	// the restore and the region transition sit within 3 slots of it.
+	for k := uint32(1); k <= 3 && k <= target; k++ {
+		if d.CacheInstr(target-k).Op == isa.OpReport {
+			return true
+		}
+	}
+	// Landing inside the check sequence, past the ECX save but before the
+	// jcxz resolves (the report sits 1-2 slots ahead): the partial check
+	// reads PC' correctly yet restores ECX from a stale staging register.
+	// A landing at the very start of the sequence executes the whole check
+	// and is not a gap, so the forward window stops at 2.
+	for k := uint32(1); k <= 2; k++ {
+		if d.CacheInstr(target+k).Op == isa.OpReport {
+			return true
+		}
+	}
+	return false
+}

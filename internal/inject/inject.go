@@ -1,0 +1,298 @@
+// Package inject runs soft-error injection campaigns against programs
+// executing under the dynamic binary translator: single transient bit flips
+// in branch address offsets or condition flags (the paper's error model),
+// with outcomes classified per branch-error category. The paper lists
+// fault injection as future work; this package implements it and validates
+// the coverage claims of Section 3 empirically.
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+	"repro/internal/errmodel"
+	"repro/internal/isa"
+)
+
+// Outcome classifies one faulty run.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutDetectedSW: a signature check reported the error.
+	OutDetectedSW Outcome = iota
+	// OutDetectedHW: the hardware protection trapped (wild fetch, memory
+	// fault, divide by zero).
+	OutDetectedHW
+	// OutBenign: the program completed with correct output.
+	OutBenign
+	// OutSDC: the program completed with wrong output — silent data
+	// corruption, the failure mode the techniques exist to prevent.
+	OutSDC
+	// OutHang: the run exceeded its step budget (e.g. an error that threw
+	// the program into an infinite loop that the policy cannot report).
+	OutHang
+	NumOutcomes
+)
+
+var outcomeNames = [...]string{"detected-sw", "detected-hw", "benign", "SDC", "hang"}
+
+// String names the outcome.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "?"
+}
+
+// Record is one injected fault and its result.
+type Record struct {
+	Fault    cpu.Fault
+	Outcome  Outcome
+	Category errmodel.Category
+	// Latency is the number of instructions between the fault firing and
+	// detection (meaningful for detected outcomes): the error-report delay
+	// the checking policies trade against speed.
+	Latency uint64
+}
+
+// Agg accumulates outcome counts.
+type Agg struct {
+	Count [NumOutcomes]int
+	Total int
+}
+
+func (a *Agg) add(o Outcome) {
+	a.Count[o]++
+	a.Total++
+}
+
+// Detected returns software+hardware detections.
+func (a *Agg) Detected() int { return a.Count[OutDetectedSW] + a.Count[OutDetectedHW] }
+
+// Errors returns the number of injections that had any effect (everything
+// except benign completions).
+func (a *Agg) Errors() int { return a.Total - a.Count[OutBenign] }
+
+// Coverage is the fraction of effective errors that were detected.
+func (a *Agg) Coverage() float64 {
+	if a.Errors() == 0 {
+		return 1
+	}
+	return float64(a.Detected()) / float64(a.Errors())
+}
+
+// Report aggregates a campaign.
+type Report struct {
+	Program   string
+	Technique string
+	Policy    dbt.Policy
+	Samples   int
+	NotFired  int
+	ByCat     map[errmodel.Category]*Agg
+	Totals    Agg
+	// LatencySum/LatencyN give the mean detection latency.
+	LatencySum uint64
+	LatencyN   int
+	// Records holds the individual runs when Config.KeepRecords is set.
+	Records []Record
+}
+
+// MeanLatency returns the mean detection latency in instructions.
+func (r *Report) MeanLatency() float64 {
+	if r.LatencyN == 0 {
+		return 0
+	}
+	return float64(r.LatencySum) / float64(r.LatencyN)
+}
+
+// Config parameterizes a campaign.
+type Config struct {
+	Technique dbt.Technique // nil: plain translation
+	Policy    dbt.Policy
+	Samples   int
+	Seed      int64
+	// MaxSteps bounds each run (hang detection). Default 50M.
+	MaxSteps uint64
+	// KeepRecords retains every Record in the Report.
+	KeepRecords bool
+	// TraceThreshold forwards to the DBT options.
+	TraceThreshold int
+	// RegFaults switches the campaign to register-bit (data) faults: one
+	// bit of a random guest register flips at a random machine step. These
+	// are the faults the data-flow checking transform targets; the
+	// control-flow techniques alone mostly miss them.
+	RegFaults bool
+	// Body forwards a body transform (data-flow checking) to the DBT.
+	Body dbt.BodyTransform
+}
+
+// Campaign injects cfg.Samples random single faults into executions of p
+// under the translator and classifies every outcome.
+func Campaign(p *isa.Program, cfg Config) (*Report, error) {
+	if cfg.Samples <= 0 {
+		cfg.Samples = 100
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 50_000_000
+	}
+	d := dbt.New(p, dbt.Options{
+		Technique:      cfg.Technique,
+		Policy:         cfg.Policy,
+		TraceThreshold: cfg.TraceThreshold,
+		Body:           cfg.Body,
+	})
+
+	// Warm the cache until the dynamic branch count stabilizes: chaining
+	// turns dispatch stubs into jump instructions, which are themselves
+	// fault sites, so the cold run undercounts.
+	clean := d.Run(nil, cfg.MaxSteps)
+	if clean.Stop.Reason != cpu.StopHalt {
+		return nil, fmt.Errorf("%s: clean run ended with %v", p.Name, clean.Stop)
+	}
+	for i := 0; i < 4; i++ {
+		next := d.Run(nil, cfg.MaxSteps)
+		if next.Stop.Reason != cpu.StopHalt {
+			return nil, fmt.Errorf("%s: warm run ended with %v", p.Name, next.Stop)
+		}
+		stable := next.DirectBranches == clean.DirectBranches
+		clean = next
+		if stable {
+			break
+		}
+	}
+	want := clean.Output
+	branches := clean.DirectBranches
+	if branches == 0 {
+		return nil, fmt.Errorf("%s: no branches to fault", p.Name)
+	}
+
+	tech := "none"
+	if cfg.Technique != nil {
+		tech = cfg.Technique.Name()
+	}
+	rep := &Report{
+		Program:   p.Name,
+		Technique: tech,
+		Policy:    cfg.Policy,
+		Samples:   cfg.Samples,
+		ByCat:     map[errmodel.Category]*Agg{},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	for s := 0; s < cfg.Samples; s++ {
+		var f *cpu.Fault
+		if cfg.RegFaults {
+			f = &cpu.Fault{
+				Kind:      cpu.FaultRegBit,
+				StepIndex: uint64(rng.Int63n(int64(clean.Steps))),
+				Reg:       isa.Reg(rng.Intn(isa.NumGuestRegs)),
+				Bit:       uint(rng.Intn(32)),
+			}
+		} else {
+			f = &cpu.Fault{BranchIndex: uint64(rng.Int63n(int64(branches)))}
+			// Site choice mirrors the error model: offset bits and flag
+			// bits in proportion to their site counts.
+			if rng.Intn(isa.OffsetBits+isa.NumFlagBits) < isa.NumFlagBits {
+				f.Kind = cpu.FaultFlagBit
+				f.Bit = uint(rng.Intn(isa.NumFlagBits))
+			} else {
+				f.Kind = cpu.FaultOffsetBit
+				f.Bit = uint(rng.Intn(isa.OffsetBits))
+			}
+		}
+		res := d.Run(f, cfg.MaxSteps)
+		if !f.Fired {
+			rep.NotFired++
+			continue
+		}
+		rec := Record{
+			Fault:    *f,
+			Outcome:  classifyOutcome(res, want),
+			Category: classifyCategory(d, f),
+		}
+		if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
+			rec.Latency = res.Steps - f.FiredStep
+			rep.LatencySum += rec.Latency
+			rep.LatencyN++
+		}
+		agg := rep.ByCat[rec.Category]
+		if agg == nil {
+			agg = &Agg{}
+			rep.ByCat[rec.Category] = agg
+		}
+		agg.add(rec.Outcome)
+		rep.Totals.add(rec.Outcome)
+		if cfg.KeepRecords {
+			rep.Records = append(rep.Records, rec)
+		}
+	}
+	return rep, nil
+}
+
+func classifyOutcome(res *dbt.Result, want []int32) Outcome {
+	switch {
+	case res.Stop.Reason == cpu.StopReport:
+		return OutDetectedSW
+	case res.Stop.Reason.IsHardwareTrap():
+		return OutDetectedHW
+	case res.Stop.Reason == cpu.StopOutOfSteps:
+		return OutHang
+	case res.Stop.Reason == cpu.StopHalt:
+		if equalOutput(res.Output, want) {
+			return OutBenign
+		}
+		return OutSDC
+	default:
+		// TrapOut cannot escape the run loop; anything else is a hang
+		// equivalent.
+		return OutHang
+	}
+}
+
+func equalOutput(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// classifyCategory maps the fired fault onto the paper's branch-error
+// categories, using the code-cache layout (faults strike translated
+// branches, so same/other block is judged in cache coordinates).
+func classifyCategory(d *dbt.DBT, f *cpu.Fault) errmodel.Category {
+	if f.Kind == cpu.FaultRegBit {
+		return errmodel.CatData
+	}
+	if f.Kind == cpu.FaultFlagBit {
+		if f.FaultTaken != f.CleanTaken {
+			return errmodel.CatA
+		}
+		return errmodel.CatNoError
+	}
+	if !f.CleanTaken {
+		return errmodel.CatNoError
+	}
+	target, ok := d.Locate(f.FaultTarget)
+	if !ok {
+		return errmodel.CatF
+	}
+	from, _ := d.Locate(f.FaultIP)
+	if target == from {
+		if f.FaultTarget == target.CacheStart {
+			return errmodel.CatB
+		}
+		return errmodel.CatC
+	}
+	if f.FaultTarget == target.CacheStart {
+		return errmodel.CatD
+	}
+	return errmodel.CatE
+}

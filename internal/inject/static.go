@@ -1,0 +1,115 @@
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cfg"
+	"repro/internal/cpu"
+	"repro/internal/errmodel"
+	"repro/internal/isa"
+)
+
+// StaticCampaign injects single faults into a program executed directly on
+// the machine (no translator) — used for the statically instrumented
+// CFCSS/ECCA baselines and for unprotected native runs. Faulty branch
+// targets are classified against the program's own CFG.
+func StaticCampaign(p *isa.Program, label string, cfgn Config) (*Report, error) {
+	if cfgn.Samples <= 0 {
+		cfgn.Samples = 100
+	}
+	if cfgn.MaxSteps == 0 {
+		cfgn.MaxSteps = 50_000_000
+	}
+	g := cfg.Build(p)
+
+	clean := cpu.New()
+	clean.Reset(p)
+	if stop := clean.Run(p.Code, cfgn.MaxSteps); stop.Reason != cpu.StopHalt {
+		return nil, fmt.Errorf("%s: clean run ended with %v", p.Name, stop)
+	}
+	want := append([]int32(nil), clean.Output...)
+	branches := clean.DirectBranches
+	if branches == 0 {
+		return nil, fmt.Errorf("%s: no branches to fault", p.Name)
+	}
+
+	rep := &Report{
+		Program:   p.Name,
+		Technique: label,
+		Policy:    cfgn.Policy,
+		Samples:   cfgn.Samples,
+		ByCat:     map[errmodel.Category]*Agg{},
+	}
+	rng := rand.New(rand.NewSource(cfgn.Seed))
+	for s := 0; s < cfgn.Samples; s++ {
+		f := &cpu.Fault{BranchIndex: uint64(rng.Int63n(int64(branches)))}
+		if rng.Intn(isa.OffsetBits+isa.NumFlagBits) < isa.NumFlagBits {
+			f.Kind = cpu.FaultFlagBit
+			f.Bit = uint(rng.Intn(isa.NumFlagBits))
+		} else {
+			f.Kind = cpu.FaultOffsetBit
+			f.Bit = uint(rng.Intn(isa.OffsetBits))
+		}
+		m := cpu.New()
+		m.Reset(p)
+		m.Fault = f
+		stop := m.Run(p.Code, cfgn.MaxSteps)
+		if !f.Fired {
+			rep.NotFired++
+			continue
+		}
+		rec := Record{
+			Fault:    *f,
+			Outcome:  classifyStaticOutcome(stop, m.Output, want),
+			Category: classifyStaticCategory(g, f),
+		}
+		if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
+			rec.Latency = m.Steps - f.FiredStep
+			rep.LatencySum += rec.Latency
+			rep.LatencyN++
+		}
+		agg := rep.ByCat[rec.Category]
+		if agg == nil {
+			agg = &Agg{}
+			rep.ByCat[rec.Category] = agg
+		}
+		agg.add(rec.Outcome)
+		rep.Totals.add(rec.Outcome)
+		if cfgn.KeepRecords {
+			rep.Records = append(rep.Records, rec)
+		}
+	}
+	return rep, nil
+}
+
+func classifyStaticOutcome(stop cpu.Stop, out, want []int32) Outcome {
+	switch {
+	case stop.Reason == cpu.StopReport:
+		return OutDetectedSW
+	case stop.Reason.IsHardwareTrap():
+		return OutDetectedHW
+	case stop.Reason == cpu.StopOutOfSteps:
+		return OutHang
+	case stop.Reason == cpu.StopHalt:
+		if equalOutput(out, want) {
+			return OutBenign
+		}
+		return OutSDC
+	default:
+		return OutHang
+	}
+}
+
+func classifyStaticCategory(g *cfg.Graph, f *cpu.Fault) errmodel.Category {
+	if f.Kind == cpu.FaultFlagBit {
+		if f.FaultTaken != f.CleanTaken {
+			return errmodel.CatA
+		}
+		return errmodel.CatNoError
+	}
+	if !f.CleanTaken {
+		return errmodel.CatNoError
+	}
+	return errmodel.Classify(g, f.FaultIP, f.FaultTarget)
+}

@@ -1,0 +1,143 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSubFlagsBasics(t *testing.T) {
+	cases := []struct {
+		a, b int32
+		want map[Flags]bool // flags that must be set / clear
+	}{
+		{5, 5, map[Flags]bool{FlagZ: true, FlagS: false, FlagC: false}},
+		{3, 5, map[Flags]bool{FlagZ: false, FlagS: true, FlagC: true}},
+		{5, 3, map[Flags]bool{FlagZ: false, FlagS: false, FlagC: false}},
+		{-1, 1, map[Flags]bool{FlagS: true, FlagC: false}}, // 0xFFFFFFFF >= 1 unsigned
+		{1, -1, map[Flags]bool{FlagS: false, FlagC: true}},
+	}
+	for _, c := range cases {
+		f := SubFlags(c.a, c.b)
+		for bit, want := range c.want {
+			if got := f&bit != 0; got != want {
+				t.Errorf("SubFlags(%d,%d): flag %v = %v, want %v (flags=%v)", c.a, c.b, bit, got, want, f)
+			}
+		}
+	}
+}
+
+func TestSubFlagsOverflow(t *testing.T) {
+	// INT32_MIN - 1 overflows.
+	if f := SubFlags(-2147483648, 1); f&FlagO == 0 {
+		t.Errorf("min-1 should overflow, flags=%v", f)
+	}
+	if f := SubFlags(2147483647, -1); f&FlagO == 0 {
+		t.Errorf("max-(-1) should overflow, flags=%v", f)
+	}
+	if f := SubFlags(100, 50); f&FlagO != 0 {
+		t.Errorf("100-50 should not overflow, flags=%v", f)
+	}
+}
+
+// TestCondConsistentWithInts checks that every signed/unsigned condition
+// evaluated over SubFlags agrees with direct integer comparison, the
+// fundamental contract the machine relies on.
+func TestCondConsistentWithInts(t *testing.T) {
+	f := func(a, b int32) bool {
+		fl := SubFlags(a, b)
+		ua, ub := uint32(a), uint32(b)
+		checks := []struct {
+			c    Cond
+			want bool
+		}{
+			{CondEQ, a == b}, {CondNE, a != b},
+			{CondLT, a < b}, {CondLE, a <= b},
+			{CondGT, a > b}, {CondGE, a >= b},
+			{CondB, ua < ub}, {CondBE, ua <= ub},
+			{CondA, ua > ub}, {CondAE, ua >= ub},
+		}
+		for _, ch := range checks {
+			if ch.c.Eval(fl) != ch.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCondNegateProperty verifies c.Eval(f) == !c.Negate().Eval(f) for all
+// conditions and all flag values — 16 conditions x 32 flag combinations.
+func TestCondNegateProperty(t *testing.T) {
+	for c := Cond(0); c.Valid(); c++ {
+		n := c.Negate()
+		if !n.Valid() {
+			t.Fatalf("negate(%v) invalid", c)
+		}
+		if n.Negate() != c {
+			t.Errorf("negate(negate(%v)) = %v", c, n.Negate())
+		}
+		for bits := Flags(0); bits <= FlagMask; bits++ {
+			if c.Eval(bits) == n.Eval(bits) {
+				t.Errorf("cond %v and its negation %v agree on flags %v", c, n, bits)
+			}
+		}
+	}
+}
+
+func TestLogicFlags(t *testing.T) {
+	if f := LogicFlags(0); f&FlagZ == 0 || f&FlagS != 0 || f&FlagC != 0 || f&FlagO != 0 {
+		t.Errorf("LogicFlags(0) = %v", f)
+	}
+	if f := LogicFlags(-5); f&FlagS == 0 || f&FlagZ != 0 {
+		t.Errorf("LogicFlags(-5) = %v", f)
+	}
+	// Parity: 3 = 0b11 has two bits -> even parity -> PF set.
+	if f := LogicFlags(3); f&FlagP == 0 {
+		t.Errorf("LogicFlags(3) should set parity, got %v", f)
+	}
+	if f := LogicFlags(1); f&FlagP != 0 {
+		t.Errorf("LogicFlags(1) should clear parity, got %v", f)
+	}
+}
+
+func TestAddFlags(t *testing.T) {
+	if f := AddFlags(2147483647, 1); f&FlagO == 0 {
+		t.Errorf("max+1 should overflow, got %v", f)
+	}
+	if f := AddFlags(-1, 1); f&FlagZ == 0 || f&FlagC == 0 {
+		t.Errorf("-1+1 should set Z and carry, got %v", f)
+	}
+	if f := AddFlags(1, 2); f&(FlagZ|FlagS|FlagO|FlagC) != 0 {
+		t.Errorf("1+2 flags = %v", f)
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if got := (FlagZ | FlagS).String(); got != "SZ" {
+		t.Errorf("flags string = %q, want SZ", got)
+	}
+	if got := Flags(0).String(); got != "-" {
+		t.Errorf("empty flags string = %q", got)
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if ESP.String() != "esp" || R12.String() != "r12" {
+		t.Error("register names wrong")
+	}
+	if r, ok := RegByName("ebp"); !ok || r != EBP {
+		t.Error("RegByName(ebp) failed")
+	}
+	if _, ok := RegByName("nope"); ok {
+		t.Error("RegByName should fail for unknown names")
+	}
+	if !EDI.GuestValid() || R8.GuestValid() {
+		t.Error("guest register validity wrong")
+	}
+	if RegPC != R12 || RegRTS != R13 || RegAUX != R14 || RegSCR != R15 {
+		t.Error("instrumentation register conventions changed")
+	}
+}

@@ -1,0 +1,198 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// InstrBytes is the size in bytes of one encoded instruction.
+const InstrBytes = 8
+
+// OffsetBits is the width of the branch-offset immediate. The paper's error
+// model enumerates one fault site per offset bit per executed direct branch.
+const OffsetBits = 32
+
+// Instr is one decoded instruction.
+//
+// Field usage by opcode family:
+//
+//	Jcc:   RD holds the condition code (as Cond); Imm is the branch offset.
+//	Cmov:  RD = destination, RS1 = source, RS2 holds the condition code.
+//	Jrz:   RS1 is the tested register; Imm is the branch offset.
+//	Store: mem[RS1+Imm] = RS2.
+//	Lea3:  RD = RS1 + RS2 + Imm.
+//
+// Branch offsets are relative to the following instruction, in instruction
+// words: target = ip + 1 + Imm.
+type Instr struct {
+	Op  Op
+	RD  Reg
+	RS1 Reg
+	RS2 Reg
+	Imm int32
+}
+
+// Cond returns the condition code of a Jcc instruction.
+func (in Instr) Cond() Cond { return Cond(in.RD) }
+
+// CmovCond returns the condition code of a Cmov instruction.
+func (in Instr) CmovCond() Cond { return Cond(in.RS2) }
+
+// Target returns the absolute branch target of a direct branch located at
+// address ip (in instruction words).
+func (in Instr) Target(ip uint32) uint32 { return ip + 1 + uint32(in.Imm) }
+
+// OffsetFor returns the Imm value that makes an instruction at ip branch to
+// target.
+func OffsetFor(ip, target uint32) int32 { return int32(target - ip - 1) }
+
+// Encode serializes the instruction into its 8-byte form.
+func (in Instr) Encode() [InstrBytes]byte {
+	var b [InstrBytes]byte
+	b[0] = byte(in.Op)
+	b[1] = byte(in.RD)
+	b[2] = byte(in.RS1)
+	b[3] = byte(in.RS2)
+	binary.LittleEndian.PutUint32(b[4:], uint32(in.Imm))
+	return b
+}
+
+// Decode deserializes an instruction from its 8-byte form. Decode never
+// fails: like a hardware decoder it produces some instruction for any bit
+// pattern; Validate reports whether it is architecturally well formed.
+func Decode(b [InstrBytes]byte) Instr {
+	return Instr{
+		Op:  Op(b[0]),
+		RD:  Reg(b[1]),
+		RS1: Reg(b[2]),
+		RS2: Reg(b[3]),
+		Imm: int32(binary.LittleEndian.Uint32(b[4:])),
+	}
+}
+
+// Validate reports whether the instruction is architecturally well formed
+// for a machine with nregs registers (pass NumGuestRegs for guest binaries,
+// NumRegs for translated code).
+func (in Instr) Validate(nregs int) error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("invalid opcode %d", uint8(in.Op))
+	}
+	checkReg := func(r Reg, what string) error {
+		if int(r) >= nregs {
+			return fmt.Errorf("%s: register %d out of range (machine has %d)", in.Op, r, nregs)
+		}
+		_ = what
+		return nil
+	}
+	switch in.Op {
+	case OpNop, OpHalt, OpRet, OpReport, OpTrapOut, OpJmp, OpCall, OpPushF, OpPopF:
+		return nil
+	case OpJcc:
+		if !Cond(in.RD).Valid() {
+			return fmt.Errorf("jcc: invalid condition %d", uint8(in.RD))
+		}
+		return nil
+	case OpJrz:
+		return checkReg(in.RS1, "rs1")
+	case OpCmov:
+		if !Cond(in.RS2).Valid() {
+			return fmt.Errorf("cmov: invalid condition %d", uint8(in.RS2))
+		}
+		if err := checkReg(in.RD, "rd"); err != nil {
+			return err
+		}
+		return checkReg(in.RS1, "rs1")
+	case OpStore:
+		if err := checkReg(in.RS1, "rs1"); err != nil {
+			return err
+		}
+		return checkReg(in.RS2, "rs2")
+	case OpLea3, OpXor3:
+		if err := checkReg(in.RD, "rd"); err != nil {
+			return err
+		}
+		if err := checkReg(in.RS1, "rs1"); err != nil {
+			return err
+		}
+		return checkReg(in.RS2, "rs2")
+	case OpMovRI, OpPop, OpAddI, OpSubI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI, OpCmpI:
+		return checkReg(in.RD, "rd")
+	case OpPush, OpJmpR, OpCallR, OpOut:
+		return checkReg(in.RS1, "rs1")
+	default:
+		// Two-register forms: rd and rs1.
+		if err := checkReg(in.RD, "rd"); err != nil {
+			return err
+		}
+		return checkReg(in.RS1, "rs1")
+	}
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpHalt, OpRet, OpReport, OpTrapOut, OpPushF, OpPopF:
+		return in.Op.String()
+	case OpMovRI:
+		return fmt.Sprintf("movi %s, %d", in.RD, in.Imm)
+	case OpMovRR:
+		return fmt.Sprintf("mov %s, %s", in.RD, in.RS1)
+	case OpLea:
+		return fmt.Sprintf("lea %s, [%s%+d]", in.RD, in.RS1, in.Imm)
+	case OpLea3:
+		return fmt.Sprintf("lea3 %s, [%s+%s%+d]", in.RD, in.RS1, in.RS2, in.Imm)
+	case OpXor3:
+		return fmt.Sprintf("xor3 %s, %s, %s, %d", in.RD, in.RS1, in.RS2, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("load %s, [%s%+d]", in.RD, in.RS1, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store [%s%+d], %s", in.RS1, in.Imm, in.RS2)
+	case OpPush:
+		return fmt.Sprintf("push %s", in.RS1)
+	case OpPop:
+		return fmt.Sprintf("pop %s", in.RD)
+	case OpAddI, OpSubI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI, OpCmpI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.RD, in.Imm)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s %+d", in.Op, in.Imm)
+	case OpJcc:
+		return fmt.Sprintf("j%s %+d", in.Cond(), in.Imm)
+	case OpJrz:
+		return fmt.Sprintf("jrz %s, %+d", in.RS1, in.Imm)
+	case OpJmpR:
+		return fmt.Sprintf("jmpr %s", in.RS1)
+	case OpCallR:
+		return fmt.Sprintf("callr %s", in.RS1)
+	case OpCmov:
+		return fmt.Sprintf("cmov%s %s, %s", in.CmovCond(), in.RD, in.RS1)
+	case OpOut:
+		return fmt.Sprintf("out %s", in.RS1)
+	default:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.RD, in.RS1)
+	}
+}
+
+// EncodeProgram serializes a sequence of instructions into a flat binary
+// image, the "existing binary" format the DBT consumes.
+func EncodeProgram(code []Instr) []byte {
+	out := make([]byte, 0, len(code)*InstrBytes)
+	for _, in := range code {
+		b := in.Encode()
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// DecodeProgram deserializes a flat binary image into instructions.
+func DecodeProgram(image []byte) ([]Instr, error) {
+	if len(image)%InstrBytes != 0 {
+		return nil, fmt.Errorf("image size %d is not a multiple of %d", len(image), InstrBytes)
+	}
+	code := make([]Instr, len(image)/InstrBytes)
+	for i := range code {
+		var b [InstrBytes]byte
+		copy(b[:], image[i*InstrBytes:])
+		code[i] = Decode(b)
+	}
+	return code, nil
+}

@@ -1,0 +1,199 @@
+// Package isa defines the instruction set architecture shared by the guest
+// ("x32", an IA32-flavoured machine with 8 general-purpose registers) and the
+// target ("x64", an EM64T-flavoured machine with 16 registers) used throughout
+// this reproduction of Borin et al., "Software-Based Transparent and
+// Comprehensive Control-Flow Error Detection" (CGO 2006).
+//
+// Instructions are fixed-width 8-byte words:
+//
+//	byte 0   opcode
+//	byte 1   destination register, or condition code for Jcc/CMOVcc
+//	byte 2   first source register
+//	byte 3   second source register
+//	bytes 4-7  32-bit signed immediate, little endian
+//
+// Branch offsets are expressed in instruction words relative to the
+// instruction that follows the branch (IA32-style relative addressing at word
+// granularity). Using word rather than byte granularity keeps every 1-bit
+// corruption of an offset decodable, which matches the paper's error model
+// where any single bit flip in an address offset yields a well-defined
+// (possibly wild) branch target.
+package isa
+
+import "fmt"
+
+// Op is an opcode of the simulated architecture.
+type Op uint8
+
+// Opcode space. The guest programs produced by the workload generator use
+// only the "guest" subset; the dynamic binary translator may additionally
+// emit the instrumentation helpers (JRZ, REPORT, TRAPOUT) into translated
+// code, mirroring how the paper's DBT emits EM64T-only instructions.
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+	// OpHalt stops the machine; the program has finished.
+	OpHalt
+
+	// Data movement.
+	OpMovRI // rd = imm (no flags)
+	OpMovRR // rd = rs1 (no flags)
+	OpLea   // rd = rs1 + imm (no flags; models IA32 "lea")
+	OpLea3  // rd = rs1 + rs2 + imm (no flags; three-address lea)
+	OpLoad  // rd = mem[rs1 + imm]
+	OpStore // mem[rs1 + imm] = rs2
+	OpPush  // sp--; mem[sp] = rs1
+	OpPop   // rd = mem[sp]; sp++
+
+	// Integer ALU (set flags).
+	OpAdd  // rd = rd + rs1
+	OpAddI // rd = rd + imm
+	OpSub  // rd = rd - rs1
+	OpSubI // rd = rd - imm
+	OpAnd  // rd = rd & rs1
+	OpAndI // rd = rd & imm
+	OpOr   // rd = rd | rs1
+	OpOrI  // rd = rd | imm
+	OpXor  // rd = rd ^ rs1
+	OpXorI // rd = rd ^ imm
+	OpShl  // rd = rd << (rs1 & 31)
+	OpShlI // rd = rd << (imm & 31)
+	OpShr  // rd = rd >> (rs1 & 31) (logical)
+	OpShrI // rd = rd >> (imm & 31) (logical)
+	OpMul  // rd = rd * rs1
+	OpDiv  // rd = rd / rs1; traps when rs1 == 0 (used by ECCA checks)
+
+	// Comparison (flags only).
+	OpCmp  // flags from rd - rs1
+	OpCmpI // flags from rd - imm
+	OpTest // flags from rd & rs1
+
+	// Floating point (long-latency; registers hold float32 bit patterns).
+	OpFAdd // rd = rd +f rs1
+	OpFSub // rd = rd -f rs1
+	OpFMul // rd = rd *f rs1
+	OpFDiv // rd = rd /f rs1
+
+	// Control flow.
+	OpJmp   // ip = ip + 1 + imm
+	OpJcc   // if cond(rd as Cond) { ip = ip + 1 + imm }
+	OpJrz   // if rs1 == 0 { ip = ip + 1 + imm } (flag-free; models "jcxz")
+	OpCall  // push ip+1; ip = ip + 1 + imm
+	OpRet   // ip = pop()
+	OpJmpR  // ip = rs1 (indirect jump)
+	OpCallR // push ip+1; ip = rs1 (indirect call)
+
+	// Conditional move.
+	OpCmov // if cond(byte1 as Cond) { rd(rs2 field) = rs1 } -- see Instr docs
+
+	// Output: append rs1 to the program's observable output stream. Silent
+	// data corruption (SDC) is detected by comparing output streams.
+	OpOut
+
+	// OpXor3 is a target-only three-address xor (rd = rs1 ^ rs2 ^ imm)
+	// that does not touch the flags — the EM64T-analogue liberty the
+	// data-flow checker needs for flag-transparent value comparisons.
+	OpXor3
+
+	// OpPushF and OpPopF save and restore the flags register on the stack
+	// (IA32 pushf/popf). They exist for the Section 5.1 ablation: xor-based
+	// signature updates clobber EFLAGS and need them, which is exactly why
+	// the paper switched to lea.
+	OpPushF
+	OpPopF
+
+	// DBT/instrumentation pseudo-ops (never appear in guest binaries).
+	OpReport  // control-flow error detected by a software check
+	OpTrapOut // deliberate trap used by DBT exit stubs
+
+	opCount // number of opcodes; keep last
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(opCount)
+
+var opNames = [...]string{
+	OpNop: "nop", OpHalt: "halt",
+	OpMovRI: "movi", OpMovRR: "mov", OpLea: "lea", OpLea3: "lea3",
+	OpLoad: "load", OpStore: "store", OpPush: "push", OpPop: "pop",
+	OpAdd: "add", OpAddI: "addi", OpSub: "sub", OpSubI: "subi",
+	OpAnd: "and", OpAndI: "andi", OpOr: "or", OpOrI: "ori",
+	OpXor: "xor", OpXorI: "xori", OpShl: "shl", OpShlI: "shli",
+	OpShr: "shr", OpShrI: "shri", OpMul: "mul", OpDiv: "div",
+	OpCmp: "cmp", OpCmpI: "cmpi", OpTest: "test",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpJmp: "jmp", OpJcc: "jcc", OpJrz: "jrz",
+	OpCall: "call", OpRet: "ret", OpJmpR: "jmpr", OpCallR: "callr",
+	OpCmov: "cmov", OpOut: "out", OpXor3: "xor3",
+	OpPushF: "pushf", OpPopF: "popf",
+	OpReport: "report", OpTrapOut: "trapout",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < opCount }
+
+// IsBranch reports whether the opcode transfers control (other than
+// fall-through). Halt, Report and TrapOut are terminators but not branches.
+func (op Op) IsBranch() bool {
+	switch op {
+	case OpJmp, OpJcc, OpJrz, OpCall, OpRet, OpJmpR, OpCallR:
+		return true
+	}
+	return false
+}
+
+// IsDirectBranch reports whether the opcode is a branch whose target is
+// encoded as an immediate offset. These are the instructions subject to the
+// paper's address-offset bit-flip error model; indirect branches (ret, jmpr,
+// callr) are excluded, as in the paper (<5% of dynamic branches).
+func (op Op) IsDirectBranch() bool {
+	switch op {
+	case OpJmp, OpJcc, OpJrz, OpCall:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether the branch depends on machine state
+// (condition flags for Jcc, a register for Jrz) and may fall through.
+func (op Op) IsConditional() bool { return op == OpJcc || op == OpJrz }
+
+// UsesFlags reports whether the opcode reads the flags register.
+func (op Op) UsesFlags() bool { return op == OpJcc || op == OpCmov }
+
+// WritesFlags reports whether the opcode writes the flags register. The
+// LEA family and plain moves deliberately do not: the paper replaces "xor"
+// signature updates with "lea" precisely to keep EFLAGS intact.
+func (op Op) WritesFlags() bool {
+	switch op {
+	case OpAdd, OpAddI, OpSub, OpSubI, OpAnd, OpAndI, OpOr, OpOrI,
+		OpXor, OpXorI, OpShl, OpShlI, OpShr, OpShrI, OpMul, OpDiv,
+		OpCmp, OpCmpI, OpTest, OpPopF:
+		return true
+	}
+	return false
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (op Op) IsTerminator() bool {
+	return op.IsBranch() || op == OpHalt || op == OpReport || op == OpTrapOut
+}
+
+// HasFallthrough reports whether execution can continue at the next
+// instruction after this terminator (conditional branches and calls).
+// Call has a fall-through in the CFG sense: the return resumes after it.
+func (op Op) HasFallthrough() bool {
+	switch op {
+	case OpJcc, OpJrz, OpCall, OpCallR:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package isa
+
+import "fmt"
+
+// Reg is a register number. The guest ISA ("x32") exposes registers 0-7 with
+// IA32 names; the target ISA ("x64") adds R8-R15, which the dynamic binary
+// translator reserves for instrumentation state, mirroring the paper's use of
+// the extra EM64T registers so that "we do not need to spill registers to
+// provide PC' and RTS".
+type Reg uint8
+
+// Guest registers (IA32 names).
+const (
+	EAX Reg = iota
+	ECX
+	EDX
+	EBX
+	ESP // stack pointer; push/pop/call/ret operate on it implicitly
+	EBP
+	ESI
+	EDI
+	// Target-only registers (EM64T extension).
+	R8
+	R9
+	R10
+	R11
+	R12 // conventionally PC' (the shadow program counter / signature register)
+	R13 // conventionally RTS (run-time signature, ECF technique)
+	R14 // conventionally AUX
+	R15 // conventionally scratch
+
+	regCount
+)
+
+// Instrumentation register conventions used by the checking techniques.
+const (
+	RegPC  = R12 // PC' signature register
+	RegRTS = R13 // run-time adjusting signature (ECF)
+	RegAUX = R14 // auxiliary register for conditional signature updates
+	RegSCR = R15 // scratch
+)
+
+// NumGuestRegs is the number of registers addressable by guest binaries.
+const NumGuestRegs = 8
+
+// NumRegs is the number of registers in the target machine.
+const NumRegs = int(regCount)
+
+var regNames = [...]string{
+	"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// String returns the architectural register name.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r?%d", uint8(r))
+}
+
+// Valid reports whether r names a target machine register.
+func (r Reg) Valid() bool { return r < regCount }
+
+// GuestValid reports whether r names a guest machine register.
+func (r Reg) GuestValid() bool { return r < NumGuestRegs }
+
+// RegByName resolves an assembler register name (either namespace).
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,67 @@
+// Package mem implements the simulated data memory with bounds protection.
+// Word granularity matches the ISA: addresses index 32-bit words. Loads or
+// stores outside the mapped region raise a protection fault, playing the
+// role of the hardware memory-protection mechanisms the paper relies on to
+// catch wild accesses.
+package mem
+
+import "fmt"
+
+// ProtectionFault describes an out-of-bounds access.
+type ProtectionFault struct {
+	Addr  uint32
+	Write bool
+	Size  uint32
+}
+
+func (f *ProtectionFault) Error() string {
+	kind := "load"
+	if f.Write {
+		kind = "store"
+	}
+	return fmt.Sprintf("memory protection fault: %s at 0x%x (mapped: %d words)", kind, f.Addr, f.Size)
+}
+
+// Memory is a flat word-addressed data memory.
+type Memory struct {
+	words []int32
+}
+
+// New returns a memory of n words, zero initialized.
+func New(n uint32) *Memory {
+	return &Memory{words: make([]int32, n)}
+}
+
+// Size returns the number of mapped words.
+func (m *Memory) Size() uint32 { return uint32(len(m.words)) }
+
+// Load reads the word at addr.
+func (m *Memory) Load(addr uint32) (int32, error) {
+	if addr >= uint32(len(m.words)) {
+		return 0, &ProtectionFault{Addr: addr, Size: m.Size()}
+	}
+	return m.words[addr], nil
+}
+
+// Store writes the word at addr.
+func (m *Memory) Store(addr uint32, v int32) error {
+	if addr >= uint32(len(m.words)) {
+		return &ProtectionFault{Addr: addr, Write: true, Size: m.Size()}
+	}
+	m.words[addr] = v
+	return nil
+}
+
+// Reset zeroes all words, keeping the size.
+func (m *Memory) Reset() {
+	for i := range m.words {
+		m.words[i] = 0
+	}
+}
+
+// Snapshot returns a copy of the memory contents (for tests and debugging).
+func (m *Memory) Snapshot() []int32 {
+	out := make([]int32, len(m.words))
+	copy(out, m.words)
+	return out
+}

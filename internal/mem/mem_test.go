@@ -1,0 +1,93 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStore(t *testing.T) {
+	m := New(16)
+	if m.Size() != 16 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	if err := m.Store(3, -42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Load(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != -42 {
+		t.Errorf("load = %d", v)
+	}
+}
+
+func TestProtection(t *testing.T) {
+	m := New(8)
+	if _, err := m.Load(8); err == nil {
+		t.Error("load at size should fault")
+	}
+	if err := m.Store(1<<30, 1); err == nil {
+		t.Error("wild store should fault")
+	}
+	err := m.Store(100, 0)
+	var pf *ProtectionFault
+	if !asProtectionFault(err, &pf) {
+		t.Fatalf("error type = %T", err)
+	}
+	if !pf.Write || pf.Addr != 100 {
+		t.Errorf("fault = %+v", pf)
+	}
+	if !strings.Contains(pf.Error(), "store") {
+		t.Errorf("fault message = %q", pf.Error())
+	}
+}
+
+func asProtectionFault(err error, out **ProtectionFault) bool {
+	pf, ok := err.(*ProtectionFault)
+	if ok {
+		*out = pf
+	}
+	return ok
+}
+
+func TestResetAndSnapshot(t *testing.T) {
+	m := New(4)
+	for i := uint32(0); i < 4; i++ {
+		if err := m.Store(i, int32(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Snapshot()
+	if snap[2] != 3 {
+		t.Errorf("snapshot[2] = %d", snap[2])
+	}
+	snap[2] = 99 // snapshot must be a copy
+	if v, _ := m.Load(2); v != 3 {
+		t.Error("snapshot aliases memory")
+	}
+	m.Reset()
+	for i := uint32(0); i < 4; i++ {
+		if v, _ := m.Load(i); v != 0 {
+			t.Errorf("after reset word %d = %d", i, v)
+		}
+	}
+}
+
+// Property: a store followed by a load at any in-range address returns the
+// stored value, and out-of-range accesses always fault.
+func TestLoadStoreProperty(t *testing.T) {
+	m := New(1024)
+	f := func(addr uint32, v int32) bool {
+		errS := m.Store(addr, v)
+		got, errL := m.Load(addr)
+		if addr < 1024 {
+			return errS == nil && errL == nil && got == v
+		}
+		return errS != nil && errL != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,291 @@
+package sig
+
+// This file expresses each published technique as a Scheme in the Section 4
+// framework. Instruction-level details (register choices, lea vs xor, Jcc vs
+// CMOVcc) live in internal/check; here only the signature algebra matters.
+
+// EdgCF is the paper's Edge Control-Flow checking scheme:
+//
+//	GEN_SIG(x, y, z)  = x - y + z
+//	CHECK_SIG(x, y)   = (x == y)
+//
+// with head nodes represented by their unique block address and tail nodes
+// by 0. The paper proves this satisfies both the sufficient and the
+// necessary condition (Claim 1); Verify re-establishes that exhaustively.
+type EdgCF struct{}
+
+// Name implements Scheme.
+func (EdgCF) Name() string { return "EdgCF" }
+
+// Init implements Scheme: S0 = B0.
+func (EdgCF) Init(sg *SplitGraph) State { return State{G: sigOf(sg.Nodes[sg.Entry])} }
+
+// HasEntryCheck implements Scheme: checks sit at tail entries (the
+// instructions "cmp PC',0; jnz .report_error" at the beginning of each
+// block's original code).
+func (EdgCF) HasEntryCheck(sg *SplitGraph, n int) bool { return !sg.Nodes[n].IsHead }
+
+// Enter implements Scheme.
+func (e EdgCF) Enter(sg *SplitGraph, s State, n int) (State, bool) {
+	if !e.HasEntryCheck(sg, n) {
+		return s, true
+	}
+	return s, s.G == sigOf(sg.Nodes[n])
+}
+
+// Gen implements Scheme: every node updates PC' at its exit.
+func (EdgCF) Gen(sg *SplitGraph, s State, n, logicalTarget int) State {
+	s.G = s.G - sigOf(sg.Nodes[n]) + sigOf(sg.Nodes[logicalTarget])
+	return s
+}
+
+// EdgCFXor is the xor form of the EdgCF algebra, GEN_SIG(x,y,z) = x^y^z —
+// the formulation the paper proves correct in formula (4) before switching
+// to the x-y+z form to sidestep IA32's EFLAGS (Section 4.4: "another
+// similar choice is GEN_SIG(x,y,z) = x - y + z, which also satisfies both
+// the sufficient and necessary condition; in real implementation we
+// actually use this function"). Both must verify identically.
+type EdgCFXor struct{}
+
+// Name implements Scheme.
+func (EdgCFXor) Name() string { return "EdgCF-xor" }
+
+// Init implements Scheme.
+func (EdgCFXor) Init(sg *SplitGraph) State { return State{G: sigOf(sg.Nodes[sg.Entry])} }
+
+// HasEntryCheck implements Scheme.
+func (EdgCFXor) HasEntryCheck(sg *SplitGraph, n int) bool { return !sg.Nodes[n].IsHead }
+
+// Enter implements Scheme.
+func (e EdgCFXor) Enter(sg *SplitGraph, s State, n int) (State, bool) {
+	if !e.HasEntryCheck(sg, n) {
+		return s, true
+	}
+	return s, s.G == sigOf(sg.Nodes[n])
+}
+
+// Gen implements Scheme: GEN_SIG(x,y,z) = x ^ y ^ z.
+func (EdgCFXor) Gen(sg *SplitGraph, s State, n, logicalTarget int) State {
+	s.G = s.G ^ sigOf(sg.Nodes[n]) ^ sigOf(sg.Nodes[logicalTarget])
+	return s
+}
+
+// RCF shares EdgCF's signature algebra at block granularity; its additional
+// value — protecting the instrumentation's own inserted branch instructions
+// by giving each a region signature — is below this model's abstraction
+// level and is evaluated empirically by the fault-injection campaigns.
+type RCF struct{ EdgCF }
+
+// Name implements Scheme.
+func (RCF) Name() string { return "RCF" }
+
+// ECF is Reis et al.'s enhanced control-flow checking (SWIFT): PC' holds
+// the current block signature, RTS (the run-time adjusting signature, state
+// word D) is set at each block exit to sig(cur) XOR sig(next) by a
+// conditional move that duplicates the branch condition.
+type ECF struct{}
+
+// Name implements Scheme.
+func (ECF) Name() string { return "ECF" }
+
+// Init implements Scheme.
+func (ECF) Init(sg *SplitGraph) State {
+	return State{G: blockSig(sg.Nodes[sg.Entry].Block), D: 0}
+}
+
+// HasEntryCheck implements Scheme: like EdgCF, the check ("cmp PC', L0")
+// sits at the tail entry.
+func (ECF) HasEntryCheck(sg *SplitGraph, n int) bool { return !sg.Nodes[n].IsHead }
+
+// Enter implements Scheme.
+func (e ECF) Enter(sg *SplitGraph, s State, n int) (State, bool) {
+	if !e.HasEntryCheck(sg, n) {
+		return s, true
+	}
+	return s, s.G == blockSig(sg.Nodes[n].Block)
+}
+
+// Gen implements Scheme. At a head exit the instrumentation folds RTS into
+// PC' ("xor PC', RTS"); at a tail exit it selects the RTS constant for the
+// taken direction ("mov RTS, L0_to_L1 / cmovle RTS, L0_to_L2").
+func (ECF) Gen(sg *SplitGraph, s State, n, logicalTarget int) State {
+	node := sg.Nodes[n]
+	if node.IsHead {
+		s.G ^= s.D
+		return s
+	}
+	s.D = blockSig(node.Block) ^ blockSig(sg.Nodes[logicalTarget].Block)
+	return s
+}
+
+// CFCSS is Oh, Shirvani and McCluskey's control-flow checking by software
+// signatures: G is xor-updated with a per-block constant d(B) at block entry
+// and compared with the block's static signature. CFCSS requires all
+// predecessors of a fan-in block to carry the same signature, which forces
+// signature aliasing; NewCFCSS computes that aliased assignment for the
+// given graph. The scheme's documented blind spots — category A (successors
+// cannot tell a mistaken branch), category C (no mid-block update), and
+// category D/E when wrong and correct targets alias — all fall out of the
+// model checker.
+type CFCSS struct {
+	sigs  []uint64 // per-block signature, aliased across fan-in predecessors
+	dOf   []uint64 // d(B) = sig(basePred(B)) XOR sig(B)
+	initG uint64   // sig(entry) XOR d(entry): the state of a virtual pre-entry edge
+}
+
+// NewCFCSS builds the CFCSS signature assignment for g: predecessors that
+// share a successor are forced into one signature class (union-find), then
+// each class gets a distinct signature.
+func NewCFCSS(g *Graph) *CFCSS {
+	n := g.NumBlocks()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	preds := make([][]int, n)
+	for b, ss := range g.Succs {
+		for _, s := range ss {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	for _, ps := range preds {
+		for i := 1; i < len(ps); i++ {
+			union(ps[0], ps[i])
+		}
+	}
+	sigs := make([]uint64, n)
+	class := map[int]uint64{}
+	for b := 0; b < n; b++ {
+		root := find(b)
+		if _, ok := class[root]; !ok {
+			class[root] = uint64(len(class)) + 1
+		}
+		sigs[b] = class[root]
+	}
+	dOf := make([]uint64, n)
+	for b := 0; b < n; b++ {
+		if len(preds[b]) > 0 {
+			dOf[b] = sigs[preds[b][0]] ^ sigs[b]
+		}
+	}
+	return &CFCSS{sigs: sigs, dOf: dOf, initG: sigs[0] ^ dOf[0]}
+}
+
+// Name implements Scheme.
+func (*CFCSS) Name() string { return "CFCSS" }
+
+// Init implements Scheme: the initial G is chosen so the entry block's own
+// xor-update lands on the entry signature, which keeps loop-backs to the
+// entry block consistent.
+func (c *CFCSS) Init(sg *SplitGraph) State { return State{G: c.initG} }
+
+// HasEntryCheck implements Scheme: CFCSS instruments block entries (heads);
+// there is no mid-block or exit instrumentation.
+func (*CFCSS) HasEntryCheck(sg *SplitGraph, n int) bool { return sg.Nodes[n].IsHead }
+
+// Enter implements Scheme: G ^= d(B), then compare with sig(B).
+func (c *CFCSS) Enter(sg *SplitGraph, s State, n int) (State, bool) {
+	node := sg.Nodes[n]
+	if !node.IsHead {
+		return s, true
+	}
+	s.G ^= c.dOf[node.Block]
+	return s, s.G == c.sigs[node.Block]
+}
+
+// Gen implements Scheme: CFCSS generates no signature at exits; the state
+// carries the current block's signature forward unchanged.
+func (*CFCSS) Gen(sg *SplitGraph, s State, n, logicalTarget int) State { return s }
+
+// ECCA is Alkhalifa et al.'s Enhanced Control-flow Checking using
+// Assertions: each block holds a unique id; the entry assertion divides by a
+// value that is zero unless the arriving id belongs to a legal predecessor,
+// and the exit assignment sets the id unconditionally. Abstractly: the
+// entry check accepts any predecessor's id (hence category A escapes), and
+// only block entries are instrumented (hence categories C and E escape).
+type ECCA struct {
+	legalPred [][]uint64 // per block: the G values accepted by the assertion
+}
+
+// NewECCA builds the ECCA assertion tables for g.
+func NewECCA(g *Graph) *ECCA {
+	n := g.NumBlocks()
+	e := &ECCA{legalPred: make([][]uint64, n)}
+	for b, ss := range g.Succs {
+		for _, s := range ss {
+			e.legalPred[s] = append(e.legalPred[s], blockSig(BlockID(b)))
+		}
+	}
+	return e
+}
+
+// Name implements Scheme.
+func (*ECCA) Name() string { return "ECCA" }
+
+// Init implements Scheme.
+func (*ECCA) Init(sg *SplitGraph) State {
+	return State{G: blockSig(sg.Nodes[sg.Entry].Block)}
+}
+
+// HasEntryCheck implements Scheme.
+func (*ECCA) HasEntryCheck(sg *SplitGraph, n int) bool { return sg.Nodes[n].IsHead }
+
+// Enter implements Scheme: the BID assertion, then the id assignment.
+func (e *ECCA) Enter(sg *SplitGraph, s State, n int) (State, bool) {
+	node := sg.Nodes[n]
+	if !node.IsHead {
+		return s, true
+	}
+	if n == sg.Entry && s.G == blockSig(node.Block) {
+		return s, true
+	}
+	for _, p := range e.legalPred[node.Block] {
+		if s.G == p {
+			s.G = blockSig(node.Block)
+			return s, true
+		}
+	}
+	return s, false
+}
+
+// Gen implements Scheme: the end-of-block assignment re-materializes the
+// current block's id (the NEXT product in the concrete technique).
+func (*ECCA) Gen(sg *SplitGraph, s State, n, logicalTarget int) State {
+	node := sg.Nodes[n]
+	if !node.IsHead {
+		s.G = blockSig(node.Block)
+	}
+	return s
+}
+
+// NullScheme performs no checking at all; it trivially satisfies the
+// necessary condition and fails the sufficient one. Used to validate the
+// verifier itself.
+type NullScheme struct{}
+
+// Name implements Scheme.
+func (NullScheme) Name() string { return "null" }
+
+// Init implements Scheme.
+func (NullScheme) Init(*SplitGraph) State { return State{} }
+
+// HasEntryCheck implements Scheme. The verifier requires at least one
+// check to ever execute for an error to count as missed (Assumption 2), so
+// the null scheme claims a check at every tail that always passes.
+func (NullScheme) HasEntryCheck(sg *SplitGraph, n int) bool { return !sg.Nodes[n].IsHead }
+
+// Enter implements Scheme.
+func (NullScheme) Enter(sg *SplitGraph, s State, n int) (State, bool) { return s, true }
+
+// Gen implements Scheme.
+func (NullScheme) Gen(sg *SplitGraph, s State, n, logicalTarget int) State { return s }

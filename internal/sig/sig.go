@@ -1,0 +1,132 @@
+// Package sig implements the formal control-flow checking framework of
+// Section 4 of the paper. Programs are abstracted to graphs of basic blocks,
+// each split into a head and a tail node (Figure 10); a checking scheme is a
+// pair of GEN_SIG / CHECK_SIG functions threaded along the execution path.
+//
+// The package provides an exhaustive model checker that explores every
+// execution path with at most one control-flow error and decides whether a
+// scheme satisfies the paper's
+//
+//   - sufficient condition — every single control-flow error is eventually
+//     detected by some CHECK_SIG (no false negatives), and
+//   - necessary condition — error-free executions never fail a check
+//     (no false positives).
+//
+// The paper proves EdgCF satisfies both and observes that CFCSS, ECCA and
+// ECF satisfy only the necessary condition; the tests in this package
+// re-derive those results mechanically, with concrete counterexample paths.
+package sig
+
+import "fmt"
+
+// BlockID identifies a basic block in the abstract program.
+type BlockID int
+
+// Graph is an abstract control-flow graph over whole blocks. Entry must be
+// block 0. Blocks with no successors are exit blocks.
+type Graph struct {
+	Succs [][]BlockID
+}
+
+// NumBlocks returns the number of blocks.
+func (g *Graph) NumBlocks() int { return len(g.Succs) }
+
+// Validate checks structural sanity.
+func (g *Graph) Validate() error {
+	for b, ss := range g.Succs {
+		for _, s := range ss {
+			if int(s) < 0 || int(s) >= len(g.Succs) {
+				return fmt.Errorf("block %d: successor %d out of range", b, s)
+			}
+		}
+	}
+	return nil
+}
+
+// Node is one element of the split graph: the head or the tail of a block.
+// Per Section 4.1, the head contains no original instructions and falls
+// through to the tail; control-flow errors never occur on that fall-through
+// edge, so every logical branch target is a head node, while a physical
+// (erroneous) target may be any node — landing on a tail models a jump to
+// the middle of the block.
+type Node struct {
+	ID     int
+	Block  BlockID
+	IsHead bool
+	// Succs are the logical successors: for a head, exactly the tail of the
+	// same block; for a tail, the heads of the block's successors.
+	Succs []int
+}
+
+// SplitGraph is the head/tail-split form of a Graph.
+type SplitGraph struct {
+	Nodes []Node
+	Entry int // head node of block 0
+}
+
+// Split builds the split graph: node 2b is the head of block b, node 2b+1
+// its tail.
+func Split(g *Graph) *SplitGraph {
+	n := g.NumBlocks()
+	sg := &SplitGraph{Nodes: make([]Node, 2*n), Entry: 0}
+	for b := 0; b < n; b++ {
+		head := &sg.Nodes[2*b]
+		tail := &sg.Nodes[2*b+1]
+		*head = Node{ID: 2 * b, Block: BlockID(b), IsHead: true, Succs: []int{2*b + 1}}
+		*tail = Node{ID: 2*b + 1, Block: BlockID(b)}
+		for _, s := range g.Succs[b] {
+			tail.Succs = append(tail.Succs, 2*int(s))
+		}
+	}
+	return sg
+}
+
+// Head returns the head node id of block b.
+func (sg *SplitGraph) Head(b BlockID) int { return 2 * int(b) }
+
+// Tail returns the tail node id of block b.
+func (sg *SplitGraph) Tail(b BlockID) int { return 2*int(b) + 1 }
+
+// State is the signature state a scheme threads along the path. Two words
+// cover every scheme in the paper: G is the primary signature register
+// (PC'), D is the secondary one (RTS for ECF, the run-time adjusting value
+// for CFCSS fan-in).
+type State struct {
+	G, D uint64
+}
+
+// Scheme is one signature-monitoring technique expressed in the formal
+// framework: CHECK_SIG at node entries, GEN_SIG at node exits.
+type Scheme interface {
+	// Name identifies the scheme.
+	Name() string
+	// Init returns the initial state on program entry (S0 = B0).
+	Init(sg *SplitGraph) State
+	// HasEntryCheck reports whether node n carries entry instrumentation
+	// (CHECK_SIG and/or an entry update). A control-flow error landing past
+	// it (Assumption 1 treats the instrumented code as atomic, so the error
+	// lands either before or after all of it) skips it entirely.
+	HasEntryCheck(sg *SplitGraph, n int) bool
+	// Enter executes the entry instrumentation of node n: signature
+	// updates followed by CHECK_SIG. ok=false means "error reported".
+	Enter(sg *SplitGraph, s State, n int) (next State, ok bool)
+	// Gen evaluates GEN_SIG at the exit of node n toward the logical
+	// target. The logical target is always a head node (branches target
+	// block beginnings); Gen runs regardless of where the physical branch
+	// actually lands.
+	Gen(sg *SplitGraph, s State, n, logicalTarget int) State
+}
+
+// sigOf returns the unique nonzero signature of a head node and 0 for tail
+// nodes, the representation used in the paper's proof of Claim 1.
+func sigOf(n Node) uint64 {
+	if n.IsHead {
+		// 1-based so no head shares the tail representation 0.
+		return uint64(n.Block) + 1
+	}
+	return 0
+}
+
+// blockSig returns a unique per-block signature (for schemes that do not
+// distinguish heads and tails).
+func blockSig(b BlockID) uint64 { return uint64(b) + 1 }

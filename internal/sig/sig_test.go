@@ -1,0 +1,347 @@
+package sig
+
+import (
+	"strings"
+	"testing"
+)
+
+// Test graphs.
+func lineGraph() *Graph {
+	// 0 -> 1 -> 2 (exit)
+	return &Graph{Succs: [][]BlockID{{1}, {2}, {}}}
+}
+
+func diamondGraph() *Graph {
+	// 0 -> {1,2}; 1 -> 3; 2 -> 3; 3 exit. Fan-in at 3.
+	return &Graph{Succs: [][]BlockID{{1, 2}, {3}, {3}, {}}}
+}
+
+func loopGraph() *Graph {
+	// 0 -> 1; 1 -> {1, 2}; 2 exit. Self-loop at 1.
+	return &Graph{Succs: [][]BlockID{{1}, {1, 2}, {}}}
+}
+
+func nestedGraph() *Graph {
+	// 0 -> 1; 1 -> 2; 2 -> {1, 3}; 3 -> {0, 4}; 4 exit.
+	return &Graph{Succs: [][]BlockID{{1}, {2}, {1, 3}, {0, 4}, {}}}
+}
+
+func allGraphs() map[string]*Graph {
+	return map[string]*Graph{
+		"line":    lineGraph(),
+		"diamond": diamondGraph(),
+		"loop":    loopGraph(),
+		"nested":  nestedGraph(),
+	}
+}
+
+func TestSplit(t *testing.T) {
+	sg := Split(diamondGraph())
+	if len(sg.Nodes) != 8 {
+		t.Fatalf("nodes = %d, want 8", len(sg.Nodes))
+	}
+	for b := BlockID(0); b < 4; b++ {
+		h, tl := sg.Nodes[sg.Head(b)], sg.Nodes[sg.Tail(b)]
+		if !h.IsHead || tl.IsHead {
+			t.Fatalf("block %d head/tail roles wrong", b)
+		}
+		if len(h.Succs) != 1 || h.Succs[0] != sg.Tail(b) {
+			t.Errorf("head of %d must fall through to its tail, got %v", b, h.Succs)
+		}
+	}
+	// Tail of 0 targets the heads of 1 and 2.
+	t0 := sg.Nodes[sg.Tail(0)]
+	if len(t0.Succs) != 2 || t0.Succs[0] != sg.Head(1) || t0.Succs[1] != sg.Head(2) {
+		t.Errorf("tail(0) succs = %v", t0.Succs)
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	bad := &Graph{Succs: [][]BlockID{{5}}}
+	if bad.Validate() == nil {
+		t.Error("out-of-range successor should fail validation")
+	}
+	if lineGraph().Validate() != nil {
+		t.Error("line graph should validate")
+	}
+}
+
+// TestEdgCFSatisfiesBothConditions re-establishes the paper's Claim 1
+// mechanically: EdgCF detects any single control-flow error (sufficient)
+// with no false positives (necessary), on every test graph.
+func TestEdgCFSatisfiesBothConditions(t *testing.T) {
+	for name, g := range allGraphs() {
+		res := Verify(g, EdgCF{})
+		if !res.Necessary {
+			t.Errorf("%s: EdgCF false positive: %v", name, res.FalsePositive)
+		}
+		if !res.Sufficient {
+			t.Errorf("%s: EdgCF false negative: %v", name, res.FalseNegative)
+		}
+		if res.StatesExplored == 0 {
+			t.Errorf("%s: no states explored", name)
+		}
+	}
+}
+
+// TestXorFormEquivalent: the paper's formula (4) xor form and the x-y+z
+// implementation form verify identically (Section 4.4).
+func TestXorFormEquivalent(t *testing.T) {
+	for name, g := range allGraphs() {
+		res := Verify(g, EdgCFXor{})
+		if !res.Sufficient || !res.Necessary {
+			t.Errorf("%s: EdgCF-xor sufficient=%v necessary=%v", name, res.Sufficient, res.Necessary)
+		}
+	}
+}
+
+// TestDoubleErrorsCanMask documents the boundary of the paper's guarantee:
+// with TWO control-flow errors the telescoping algebra can cancel. Build
+// the canceling pair by hand: an error diverts B1t's exit from B2h to B3h,
+// and a second error diverts B3t's exit from B4h... back onto the path
+// with the inverse delta. The accumulated signature returns to the correct
+// value and every later check passes.
+func TestDoubleErrorsCanMask(t *testing.T) {
+	// 0 -> 1; 1 -> 2; 2 -> 3; 3 exit. Errors: at tail(0) exit toward
+	// head(1), land on head(2) (delta = sig1 - sig2); then at tail(2) exit
+	// toward head(3), land on... we need the inverse delta: an error from
+	// logical head(3) to physical head... choose landing so the deltas
+	// cancel: second error with logical T2 and physical P2 satisfying
+	// (T1 - P1) + (T2 - P2) = 0.
+	g := &Graph{Succs: [][]BlockID{{1}, {2}, {3}, {}}}
+	sg := Split(g)
+	e := EdgCF{}
+	s := e.Init(sg)
+
+	step := func(n, logical int) {
+		var ok bool
+		s, ok = e.Enter(sg, s, n)
+		if !ok {
+			t.Fatalf("unexpected detection at node %d", n)
+		}
+		s = e.Gen(sg, s, n, logical)
+	}
+	// Clean prefix: 0h -> 0t.
+	step(sg.Head(0), sg.Tail(0))
+	// Error 1: tail(0) generates toward head(1) but lands on head(2).
+	step(sg.Tail(0), sg.Head(1))
+	// Landing on head(2): its check-free head runs, then its tail check
+	// FAILS... unless a second error intervenes before the next check.
+	// head(2) has no check; its exit generates toward tail(2).
+	var ok bool
+	s, ok = e.Enter(sg, s, sg.Head(2))
+	if !ok {
+		t.Fatal("heads carry no checks")
+	}
+	s = e.Gen(sg, s, sg.Head(2), sg.Tail(2))
+	// Error 2 (inside the instrumented head->tail region is excluded by
+	// the model, so this "second fault" models a further branch error):
+	// the delta needed to cancel is sig(B1h) - sig(B2h); land accordingly.
+	// Accumulated G = correct + (sig1 - sig2); check at tail(2) expects 0
+	// after head(2) subtracted sig2... compute directly:
+	// The first error left G short by (T1 - P1) = sig(B1h) - sig(B2h); the
+	// inverse correction is sig(B2h) - sig(B1h).
+	delta := sigOf(sg.Nodes[sg.Head(2)]) - sigOf(sg.Nodes[sg.Head(1)])
+	if delta == 0 {
+		t.Fatal("degenerate graph")
+	}
+	// Without correction, the next check must fire (single-error case).
+	if _, ok := e.Enter(sg, s, sg.Tail(2)); ok {
+		t.Fatal("single error escaped EdgCF — contradiction with Claim 1")
+	}
+	// A second fault that adds the inverse delta re-aligns the signature:
+	// this is exactly why the paper (and this reproduction) restrict the
+	// guarantee to single errors.
+	s.G += delta
+	if _, ok := e.Enter(sg, s, sg.Tail(2)); !ok {
+		t.Fatal("canceling double error should mask")
+	}
+}
+
+func TestRCFSatisfiesBothConditions(t *testing.T) {
+	for name, g := range allGraphs() {
+		res := Verify(g, RCF{})
+		if !res.Sufficient || !res.Necessary {
+			t.Errorf("%s: RCF sufficient=%v necessary=%v", name, res.Sufficient, res.Necessary)
+		}
+	}
+}
+
+// TestECFMissesCategoryC: ECF satisfies the necessary condition but fails
+// the sufficient one — its witness is always a jump to the middle of the
+// same block (category C), the exact gap the paper identifies.
+func TestECFMissesCategoryC(t *testing.T) {
+	for name, g := range allGraphs() {
+		res := Verify(g, ECF{})
+		if !res.Necessary {
+			t.Errorf("%s: ECF false positive: %v", name, res.FalsePositive)
+		}
+		if res.Sufficient {
+			t.Errorf("%s: ECF should miss category C errors", name)
+		}
+	}
+	// The witness on the line graph must involve landing on the same tail.
+	res := Verify(lineGraph(), ECF{})
+	found := false
+	for _, ev := range res.FalseNegative {
+		if strings.Contains(ev, "ERROR") && strings.Contains(ev, "lands on B") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no error event in witness: %v", res.FalseNegative)
+	}
+}
+
+func TestCFCSSMissesErrors(t *testing.T) {
+	for name, g := range allGraphs() {
+		res := Verify(g, NewCFCSS(g))
+		if !res.Necessary {
+			t.Errorf("%s: CFCSS false positive: %v", name, res.FalsePositive)
+		}
+		if res.Sufficient {
+			t.Errorf("%s: CFCSS should fail the sufficient condition", name)
+		}
+	}
+}
+
+// TestCFCSSMissesMistakenBranch builds the specific category-A scenario:
+// a conditional block whose two successors must be distinguished. CFCSS
+// successors cannot tell whether the last branch was mistaken.
+func TestCFCSSMissesMistakenBranch(t *testing.T) {
+	g := diamondGraph()
+	c := NewCFCSS(g)
+	sg := Split(g)
+	// Clean state after tail(0) exit toward head(1).
+	s := c.Init(sg)
+	s, ok := c.Enter(sg, s, sg.Head(0))
+	if !ok {
+		t.Fatal("entry check failed")
+	}
+	s = c.Gen(sg, s, sg.Head(0), sg.Tail(0))
+	s, _ = c.Enter(sg, s, sg.Tail(0))
+	s = c.Gen(sg, s, sg.Tail(0), sg.Head(1)) // logical: block 1
+	// Error: physically lands on head(2) (mistaken branch).
+	_, ok = c.Enter(sg, s, sg.Head(2))
+	if !ok {
+		t.Error("CFCSS detected a mistaken branch; it must not be able to")
+	}
+}
+
+// TestCFCSSAliasing: fan-in forces predecessors 1 and 2 to share a
+// signature, so a category-D error jumping between them is invisible.
+func TestCFCSSAliasing(t *testing.T) {
+	g := diamondGraph()
+	c := NewCFCSS(g)
+	if c.sigs[1] != c.sigs[2] {
+		t.Fatalf("fan-in predecessors must alias: sigs = %v", c.sigs)
+	}
+	if c.sigs[0] == c.sigs[1] || c.sigs[0] == c.sigs[3] {
+		t.Errorf("unrelated blocks should not alias: %v", c.sigs)
+	}
+}
+
+func TestECCAMissesErrors(t *testing.T) {
+	for name, g := range allGraphs() {
+		res := Verify(g, NewECCA(g))
+		if !res.Necessary {
+			t.Errorf("%s: ECCA false positive: %v", name, res.FalsePositive)
+		}
+		if res.Sufficient {
+			t.Errorf("%s: ECCA should fail the sufficient condition", name)
+		}
+	}
+}
+
+// TestECCADetectsIllegalJump: ECCA does catch a jump to the beginning of a
+// block that is not a successor (category D with unrelated blocks).
+func TestECCADetectsIllegalJump(t *testing.T) {
+	g := lineGraph()
+	e := NewECCA(g)
+	sg := Split(g)
+	s := e.Init(sg)
+	s, _ = e.Enter(sg, s, sg.Head(0))
+	s = e.Gen(sg, s, sg.Head(0), sg.Tail(0))
+	s, _ = e.Enter(sg, s, sg.Tail(0))
+	s = e.Gen(sg, s, sg.Tail(0), sg.Head(1)) // ends block 0, id = sig(0)
+	// Error lands on head(2): block 2's only legal predecessor is 1.
+	if _, ok := e.Enter(sg, s, sg.Head(2)); ok {
+		t.Error("ECCA must detect a jump to a non-successor block start")
+	}
+}
+
+// TestNullSchemeFailsSufficient validates the verifier itself: a scheme
+// that never checks anything must fail the sufficient condition and hold
+// the necessary one.
+func TestNullSchemeFailsSufficient(t *testing.T) {
+	for name, g := range allGraphs() {
+		res := Verify(g, NullScheme{})
+		if !res.Necessary {
+			t.Errorf("%s: null scheme cannot raise false positives", name)
+		}
+		if res.Sufficient {
+			t.Errorf("%s: null scheme cannot detect anything", name)
+		}
+	}
+}
+
+// TestEdgCFAlgebra checks formula (4) of the paper directly:
+// GEN_SIG(x,y,z) = x - y + z telescopes so the signature equals the
+// current node's representation exactly on error-free paths.
+func TestEdgCFAlgebra(t *testing.T) {
+	g := nestedGraph()
+	sg := Split(g)
+	e := EdgCF{}
+	s := e.Init(sg)
+	// Walk a clean path: 0h 0t 1h 1t 2h 2t 1h 1t 2h 2t 3h 3t 4h 4t.
+	path := []int{
+		sg.Head(0), sg.Tail(0), sg.Head(1), sg.Tail(1), sg.Head(2), sg.Tail(2),
+		sg.Head(1), sg.Tail(1), sg.Head(2), sg.Tail(2), sg.Head(3), sg.Tail(3),
+		sg.Head(4), sg.Tail(4),
+	}
+	for i, n := range path {
+		var ok bool
+		s, ok = e.Enter(sg, s, n)
+		if !ok {
+			t.Fatalf("step %d: clean check failed at %d", i, n)
+		}
+		if s.G != sigOf(sg.Nodes[n]) {
+			t.Fatalf("step %d: signature %d != repr %d", i, s.G, sigOf(sg.Nodes[n]))
+		}
+		if i+1 < len(path) {
+			s = e.Gen(sg, s, n, path[i+1])
+		}
+	}
+}
+
+// TestSingleErrorDeltaNonzero is the heart of the paper's proof: after one
+// error from logical target T to physical target B, the accumulated
+// signature differs from the correct one by repr(T) - repr(B), which is
+// nonzero because logical targets are always heads with unique nonzero
+// representations.
+func TestSingleErrorDeltaNonzero(t *testing.T) {
+	g := nestedGraph()
+	sg := Split(g)
+	for li := range sg.Nodes {
+		if !sg.Nodes[li].IsHead {
+			continue // logical targets are heads
+		}
+		for pi := range sg.Nodes {
+			if pi == li {
+				continue
+			}
+			if sigOf(sg.Nodes[li])-sigOf(sg.Nodes[pi]) == 0 {
+				t.Errorf("repr collision: logical %d physical %d", li, pi)
+			}
+		}
+	}
+}
+
+func TestVerifyPanicsOnBadGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Verify should panic on invalid graph")
+		}
+	}()
+	Verify(&Graph{Succs: [][]BlockID{{9}}}, EdgCF{})
+}

@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/cpu"
+)
+
+func TestSuiteSizes(t *testing.T) {
+	if n := len(SpecInt()); n != 12 {
+		t.Errorf("SPEC-Int profiles = %d, want 12", n)
+	}
+	if n := len(SpecFp()); n != 14 {
+		t.Errorf("SPEC-Fp profiles = %d, want 14", n)
+	}
+	if n := len(All()); n != 26 {
+		t.Errorf("All = %d, want 26", n)
+	}
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if seen[p.Name] {
+			t.Errorf("duplicate workload %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("181.mcf")
+	if err != nil || p.Name != "181.mcf" || p.Suite != SuiteInt {
+		t.Errorf("ByName(181.mcf) = %+v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+	if len(Names()) != 26 {
+		t.Error("Names size")
+	}
+}
+
+// TestAllWorkloadsRunToCompletion builds every workload at test scale and
+// runs it natively: must halt, produce output, and be deterministic.
+func TestAllWorkloadsRunToCompletion(t *testing.T) {
+	for _, prof := range All() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			p, err := prof.Build(0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			m := cpu.New()
+			stop := m.RunProgram(p, 100_000_000)
+			if stop.Reason != cpu.StopHalt {
+				t.Fatalf("stop = %v", stop)
+			}
+			if len(m.Output) == 0 {
+				t.Fatal("no output")
+			}
+			// Deterministic.
+			m2 := cpu.New()
+			m2.RunProgram(p, 100_000_000)
+			if m2.Output[0] != m.Output[0] {
+				t.Error("nondeterministic output")
+			}
+			// Rebuild gives identical program.
+			p2, err := prof.Build(0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p2.Len() != p.Len() {
+				t.Error("nondeterministic generation")
+			}
+		})
+	}
+}
+
+// TestSuiteShapeContrast checks the structural contrasts the paper's
+// results rest on: fp workloads have larger mean blocks than int ones, and
+// int workloads execute a larger share of not-taken branches.
+func TestSuiteShapeContrast(t *testing.T) {
+	// Dynamic mean block length: executed instructions per control
+	// transfer. (Static means are dominated by the cold padding, which is
+	// shaped identically in both suites.)
+	meanBlock := func(prof Profile) float64 {
+		p := prof.MustBuild(0.02)
+		m := cpu.New()
+		if stop := m.RunProgram(p, 100_000_000); stop.Reason != cpu.StopHalt {
+			t.Fatalf("%s: %v", prof.Name, stop)
+		}
+		return float64(m.Steps) / float64(m.DirectBranches+m.IndirectBranches)
+	}
+	fpMean := meanBlock(SpecFp()[1])   // 171.swim
+	intMean := meanBlock(SpecInt()[2]) // 176.gcc
+	if fpMean <= 1.5*intMean {
+		t.Errorf("fp dynamic block %.1f not clearly above int %.1f", fpMean, intMean)
+	}
+
+	takenRatio := func(prof Profile) float64 {
+		p := prof.MustBuild(0.05)
+		m := cpu.New()
+		taken, total := 0, 0
+		m.BranchHook = func(ev cpu.BranchEvent) {
+			total++
+			if ev.Taken {
+				taken++
+			}
+		}
+		if stop := m.RunProgram(p, 100_000_000); stop.Reason != cpu.StopHalt {
+			t.Fatalf("%s: %v", prof.Name, stop)
+		}
+		return float64(taken) / float64(total)
+	}
+	fpTaken := takenRatio(SpecFp()[0])
+	intTaken := takenRatio(SpecInt()[0])
+	if fpTaken <= intTaken {
+		t.Errorf("taken ratio: fp %.2f <= int %.2f (paper: fp 65%%, int 40%%)", fpTaken, intTaken)
+	}
+}
+
+func TestScaling(t *testing.T) {
+	prof := SpecInt()[0]
+	small := prof.MustBuild(0.02)
+	big := prof.MustBuild(0.2)
+	run := func(p interface{ Len() uint32 }) {} // silence
+	_ = run
+	ms, mb := cpu.New(), cpu.New()
+	if stop := ms.RunProgram(small, 1_000_000_000); stop.Reason != cpu.StopHalt {
+		t.Fatal(stop)
+	}
+	if stop := mb.RunProgram(big, 1_000_000_000); stop.Reason != cpu.StopHalt {
+		t.Fatal(stop)
+	}
+	if mb.Steps <= ms.Steps {
+		t.Errorf("scaling broken: %d <= %d", mb.Steps, ms.Steps)
+	}
+	// Static code identical across scales (only dynamic work scales).
+	if small.Len() != big.Len() {
+		t.Errorf("static size changed with scale: %d vs %d", small.Len(), big.Len())
+	}
+}
+
+func TestColdCodeFootprint(t *testing.T) {
+	prof := SpecInt()[0]
+	p := prof.MustBuild(0.02)
+	if int(p.Len()) < prof.ColdWords {
+		t.Errorf("image %d words < cold padding %d", p.Len(), prof.ColdWords)
+	}
+	g := cfg.Build(p)
+	if g.NumBlocks() < 100 {
+		t.Errorf("too few blocks: %d", g.NumBlocks())
+	}
+}
