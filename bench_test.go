@@ -22,7 +22,7 @@ const benchScale = 0.2
 // for both suites and reports the headline category probabilities.
 func BenchmarkFigure2ErrorModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		intTab, fpTab, err := bench.Figure2(benchScale)
+		intTab, fpTab, err := bench.Figure2(benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -34,7 +34,7 @@ func BenchmarkFigure2ErrorModel(b *testing.B) {
 // BenchmarkFigure3Normalized regenerates the normalized A-E distribution.
 func BenchmarkFigure3Normalized(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		intTab, fpTab, err := bench.Figure2(benchScale)
+		intTab, fpTab, err := bench.Figure2(benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +47,7 @@ func BenchmarkFigure3Normalized(b *testing.B) {
 // RCF/EdgCF/ECF and reports the suite geomeans.
 func BenchmarkFigure12Slowdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := bench.Figure12(benchScale)
+		t, err := bench.Figure12(benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +60,7 @@ func BenchmarkFigure12Slowdown(b *testing.B) {
 // BenchmarkFigure14UpdateStyle regenerates the Jcc vs CMOVcc table.
 func BenchmarkFigure14UpdateStyle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := bench.Figure14(benchScale)
+		t, err := bench.Figure14(benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +72,7 @@ func BenchmarkFigure14UpdateStyle(b *testing.B) {
 // BenchmarkFigure15Policies regenerates the checking-policy sweep for RCF.
 func BenchmarkFigure15Policies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := bench.Figure15(benchScale)
+		t, err := bench.Figure15(benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +86,7 @@ func BenchmarkFigure15Policies(b *testing.B) {
 // native execution (the paper's ~12%).
 func BenchmarkDBTBaseline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, avg, err := bench.DBTBaseline(benchScale)
+		_, avg, err := bench.DBTBaseline(benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func BenchmarkCoverageCampaign(b *testing.B) {
 // chaining, traces, xor-vs-lea updates, and data-flow checking stacking.
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Ablations(benchScale)
+		rows, err := bench.Ablations(benchScale, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +138,7 @@ func BenchmarkAblations(b *testing.B) {
 // data-flow checking transform (the paper's future work) targets.
 func BenchmarkDataFlowCoverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reports, err := bench.DataFlowCoverage(0.04, 120, 1)
+		reports, err := bench.DataFlowCoverage(0.04, 120, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,6 +9,9 @@
 //	-fig dfc     register-fault coverage of data-flow checking (future work)
 //	-fig latency policy trade-off: slowdown vs coverage vs report latency
 //	-fig all     everything
+//
+// -workers fans the per-benchmark runs (and campaign samples) across a
+// goroutine pool; results are identical for every worker count.
 package main
 
 import (
@@ -21,39 +24,40 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "which figure: 12|14|15|dbt|all")
-		scale = flag.Float64("scale", 1.0, "workload dynamic scale")
+		fig     = flag.String("fig", "all", "which figure: 12|14|15|dbt|all")
+		scale   = flag.Float64("scale", 1.0, "workload dynamic scale")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	run := func(name string) {
 		switch name {
 		case "12":
-			t, err := bench.Figure12(*scale)
+			t, err := bench.Figure12(*scale, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatSlowdownTable(t))
 		case "14":
-			t, err := bench.Figure14(*scale)
+			t, err := bench.Figure14(*scale, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatFigure14(t))
 		case "15":
-			t, err := bench.Figure15(*scale)
+			t, err := bench.Figure15(*scale, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatSlowdownTable(t))
 		case "dbt":
-			rows, avg, err := bench.DBTBaseline(*scale)
+			rows, avg, err := bench.DBTBaseline(*scale, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatBaseline(rows, avg))
 		case "ablate":
-			rows, err := bench.Ablations(*scale)
+			rows, err := bench.Ablations(*scale, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatAblations(rows))
 		case "dfc":
-			reports, err := bench.DataFlowCoverage(minF(*scale, 0.1), 300, 1)
+			reports, err := bench.DataFlowCoverage(minF(*scale, 0.1), 300, 1, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatDataFlowCoverage(reports))
 		case "latency":
-			rows, err := bench.PolicyLatency(minF(*scale, 0.3), 300, 1)
+			rows, err := bench.PolicyLatency(minF(*scale, 0.3), 300, 1, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatPolicyLatency(rows))
 		default:

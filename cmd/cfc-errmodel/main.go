@@ -17,6 +17,7 @@ func main() {
 	var (
 		scale    = flag.Float64("scale", 1.0, "workload dynamic scale")
 		workload = flag.String("workload", "", "analyze a single workload instead of both suites")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 		return
 	}
 
-	intTab, fpTab, err := bench.Figure2(*scale)
+	intTab, fpTab, err := bench.Figure2(*scale, *workers)
 	if err != nil {
 		fatal(err)
 	}

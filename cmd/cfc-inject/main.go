@@ -4,16 +4,26 @@
 // every technique (including the static CFCSS/ECCA baselines) side by side
 // — the empirical counterpart of the paper's Section 3 coverage analysis
 // and its stated future work.
+//
+// -workers shards the samples across a goroutine pool; the classified
+// report is bit-identical for every worker count. -json additionally runs
+// the campaign at one worker and at the requested count, checks the two
+// reports agree, and writes a throughput record suitable for CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/inject"
+	"repro/internal/isa"
+	"repro/internal/par"
 )
 
 func main() {
@@ -25,7 +35,9 @@ func main() {
 		policy   = flag.String("policy", "ALLBB", "ALLBB|RET-BE|RET|END")
 		samples  = flag.Int("samples", 500, "number of injected faults")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		matrix   = flag.Bool("matrix", false, "run the full coverage matrix instead")
+		jsonOut  = flag.String("json", "", "write a throughput benchmark record to this file")
 	)
 	flag.Parse()
 
@@ -34,6 +46,7 @@ func main() {
 			Scale:   *scale,
 			Samples: *samples,
 			Seed:    *seed,
+			Workers: *workers,
 		})
 		fatalIf(err)
 		fmt.Print(bench.FormatCoverageMatrix(reports))
@@ -42,9 +55,89 @@ func main() {
 
 	p, err := core.Workload(*workload, *scale)
 	fatalIf(err)
-	rep, err := core.Inject(p, core.Config{Technique: *tech, Style: *style, Policy: *policy}, *samples, *seed)
+	cfg := core.Config{Technique: *tech, Style: *style, Policy: *policy}
+
+	if *jsonOut != "" {
+		fatalIf(writeBenchJSON(*jsonOut, p, cfg, *samples, *seed, *workers))
+	}
+
+	rep, err := core.Inject(p, cfg, *samples, *seed, *workers)
 	fatalIf(err)
 	fmt.Print(inject.FormatReport(rep))
+}
+
+// benchRecord is the schema of the -json output, one file per campaign.
+type benchRecord struct {
+	Workload      string     `json:"workload"`
+	Technique     string     `json:"technique"`
+	Samples       int        `json:"samples"`
+	Seed          int64      `json:"seed"`
+	GOMAXPROCS    int        `json:"gomaxprocs"`
+	NumCPU        int        `json:"num_cpu"`
+	Runs          []benchRun `json:"runs"`
+	Speedup       float64    `json:"speedup"`
+	Deterministic bool       `json:"deterministic"`
+}
+
+type benchRun struct {
+	Workers    int     `json:"workers"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+}
+
+// writeBenchJSON measures the same campaign serially and at the requested
+// worker count, verifies the classified results are identical, and records
+// both timings so CI can track campaign throughput.
+func writeBenchJSON(path string, p *isa.Program, cfg core.Config, samples int, seed int64, workers int) error {
+	parallel := par.Workers(workers, samples)
+	serial, err := core.Inject(p, cfg, samples, seed, 1)
+	if err != nil {
+		return err
+	}
+	multi := serial
+	if parallel != 1 {
+		multi, err = core.Inject(p, cfg, samples, seed, parallel)
+		if err != nil {
+			return err
+		}
+	}
+	rec := benchRecord{
+		Workload:      p.Name,
+		Technique:     cfg.Technique,
+		Samples:       samples,
+		Seed:          seed,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Deterministic: sameReport(serial, multi),
+		Runs: []benchRun{
+			{Workers: 1, ElapsedSec: serial.Elapsed.Seconds(), RunsPerSec: serial.Throughput()},
+		},
+	}
+	if parallel != 1 {
+		rec.Runs = append(rec.Runs, benchRun{
+			Workers: parallel, ElapsedSec: multi.Elapsed.Seconds(), RunsPerSec: multi.Throughput(),
+		})
+		if multi.Elapsed > 0 {
+			rec.Speedup = serial.Elapsed.Seconds() / multi.Elapsed.Seconds()
+		}
+	} else {
+		rec.Speedup = 1
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// sameReport compares everything a campaign classifies, ignoring the
+// timing fields that legitimately differ between runs.
+func sameReport(a, b *inject.Report) bool {
+	return a.NotFired == b.NotFired &&
+		a.LatencySum == b.LatencySum &&
+		a.LatencyN == b.LatencyN &&
+		reflect.DeepEqual(a.Totals, b.Totals) &&
+		reflect.DeepEqual(a.ByCat, b.ByCat)
 }
 
 func fatalIf(err error) {

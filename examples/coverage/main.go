@@ -34,7 +34,7 @@ func main() {
 
 	// Translator-hosted techniques.
 	for _, tech := range []string{"none", "ECF", "EdgCF", "RCF"} {
-		rep, err := core.Inject(p, core.Config{Technique: tech, Style: "CMOVcc"}, samples, seed)
+		rep, err := core.Inject(p, core.Config{Technique: tech, Style: "CMOVcc"}, samples, seed, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -36,7 +36,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := core.Inject(p, cfg, samples, 13)
+		rep, err := core.Inject(p, cfg, samples, 13, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

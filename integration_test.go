@@ -93,7 +93,7 @@ func TestEndToEndBinaryLifecycle(t *testing.T) {
 	}
 
 	// Injection campaign under full protection: no silent corruption.
-	rep, err := core.Inject(loaded, core.Config{Technique: "RCF", Style: "CMOVcc"}, 250, 99)
+	rep, err := core.Inject(loaded, core.Config{Technique: "RCF", Style: "CMOVcc"}, 250, 99, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dbt"
 	"repro/internal/errmodel"
 	"repro/internal/inject"
+	"repro/internal/par"
 	"repro/internal/workloads"
 
 	"repro/internal/check"
@@ -29,7 +30,7 @@ type AblationRow struct {
 //     Section 5.1 argument)
 //   - data-flow checking alone, and stacked on RCF (the paper's future
 //     work, with and without compare-operand checks)
-func Ablations(scale float64) ([]AblationRow, error) {
+func Ablations(scale float64, workers int) ([]AblationRow, error) {
 	type cfg struct {
 		name string
 		note string
@@ -62,27 +63,41 @@ func Ablations(scale float64) ([]AblationRow, error) {
 		}},
 	}
 
-	ratios := make([][]float64, len(cfgs))
-	for _, prof := range workloads.All() {
+	profs := workloads.All()
+	// perWorkload[w][c]: workload w's ratio under configuration c; the jobs
+	// fan across workers, the geomeans fold in workload order.
+	perWorkload := make([][]float64, len(profs))
+	err := par.ForEach(len(profs), workers, func(w int) error {
+		prof := profs[w]
 		p, err := prof.Build(scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base := dbt.New(p, dbt.Options{}).Run(nil, DefaultMaxSteps)
 		if base.Stop.Reason.String() != "halt" {
-			return nil, fmt.Errorf("%s: baseline %v", prof.Name, base.Stop)
+			return fmt.Errorf("%s: baseline %v", prof.Name, base.Stop)
 		}
+		ratios := make([]float64, len(cfgs))
 		for i, c := range cfgs {
 			res := dbt.New(p, c.opts()).Run(nil, DefaultMaxSteps)
 			if res.Stop.Reason.String() != "halt" {
-				return nil, fmt.Errorf("%s/%s: %v", prof.Name, c.name, res.Stop)
+				return fmt.Errorf("%s/%s: %v", prof.Name, c.name, res.Stop)
 			}
-			ratios[i] = append(ratios[i], float64(res.Cycles)/float64(base.Cycles))
+			ratios[i] = float64(res.Cycles) / float64(base.Cycles)
 		}
+		perWorkload[w] = ratios
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	rows := make([]AblationRow, len(cfgs))
 	for i, c := range cfgs {
-		rows[i] = AblationRow{Name: c.name, Slowdown: Geomean(ratios[i]), Note: c.note}
+		all := make([]float64, len(profs))
+		for w := range profs {
+			all[w] = perWorkload[w][i]
+		}
+		rows[i] = AblationRow{Name: c.name, Slowdown: Geomean(all), Note: c.note}
 	}
 	return rows, nil
 }
@@ -99,8 +114,8 @@ func FormatAblations(rows []AblationRow) string {
 
 // DataFlowCoverage runs register-bit fault campaigns (the data errors the
 // paper's future-work data-flow checking targets) under increasing
-// protection.
-func DataFlowCoverage(scale float64, samples int, seed int64) ([]*inject.Report, error) {
+// protection. workers shards each campaign's samples.
+func DataFlowCoverage(scale float64, samples int, seed int64, workers int) ([]*inject.Report, error) {
 	names := []string{"164.gzip", "183.equake"}
 	type cfg struct {
 		label string
@@ -127,7 +142,7 @@ func DataFlowCoverage(scale float64, samples int, seed int64) ([]*inject.Report,
 			}
 			rep, err := inject.Campaign(p, inject.Config{
 				Technique: c.tech, Body: c.body, RegFaults: true,
-				Samples: samples, Seed: seed,
+				Samples: samples, Seed: seed, Workers: workers,
 				// Data faults can wreck the stack pointer and livelock;
 				// a tight budget keeps hang detection cheap.
 				MaxSteps: 4_000_000,

@@ -8,7 +8,7 @@ import (
 )
 
 func TestAblationsShape(t *testing.T) {
-	rows, err := Ablations(0.1)
+	rows, err := Ablations(0.1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestAblationsShape(t *testing.T) {
 }
 
 func TestDataFlowCoverageShape(t *testing.T) {
-	reports, err := DataFlowCoverage(0.04, 150, 11)
+	reports, err := DataFlowCoverage(0.04, 150, 11, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

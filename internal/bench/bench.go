@@ -2,6 +2,11 @@
 // figure of the paper's evaluation (Section 2's error-model tables and
 // Section 6's performance figures) over the synthetic SPEC2000 workloads,
 // plus the fault-injection coverage matrix the paper argues analytically.
+//
+// Every generator takes a workers knob (0 = GOMAXPROCS): the per-benchmark
+// measurements fan out across a goroutine pool and are merged in benchmark
+// order, so the tables are identical for every worker count. Each job owns
+// its program build and its own DBT instances; nothing mutable is shared.
 package bench
 
 import (
@@ -13,6 +18,7 @@ import (
 	"repro/internal/errmodel"
 	"repro/internal/inject"
 	"repro/internal/isa"
+	"repro/internal/par"
 	"repro/internal/workloads"
 
 	"repro/internal/check"
@@ -85,9 +91,38 @@ func dbtCycles(p *isa.Program, tech dbt.Technique, pol dbt.Policy) (uint64, erro
 	return res.Cycles, nil
 }
 
+// slowdownRows measures one row per workload — the baseline plus each
+// configuration's cycles — fanning the workloads across workers. Rows come
+// back in workload order whatever the worker count.
+func slowdownRows(scale float64, workers int, configs func(p *isa.Program, base uint64) ([]float64, error)) ([]SlowdownRow, error) {
+	profs := workloads.All()
+	rows := make([]SlowdownRow, len(profs))
+	err := par.ForEach(len(profs), workers, func(i int) error {
+		prof := profs[i]
+		p, err := prof.Build(scale)
+		if err != nil {
+			return err
+		}
+		base, err := dbtCycles(p, nil, dbt.PolicyAllBB)
+		if err != nil {
+			return err
+		}
+		slow, err := configs(p, base)
+		if err != nil {
+			return err
+		}
+		rows[i] = SlowdownRow{Name: prof.Name, Suite: prof.Suite, Slowdown: slow}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
 // Figure12 measures the per-benchmark slowdown of RCF, EdgCF and ECF
 // (Jcc update style, ALLBB policy) relative to the uninstrumented DBT.
-func Figure12(scale float64) (*SlowdownTable, error) {
+func Figure12(scale float64, workers int) (*SlowdownTable, error) {
 	techs := check.DBTTechniques(dbt.UpdateJcc)
 	names := make([]string, len(techs))
 	for i, tc := range techs {
@@ -97,25 +132,21 @@ func Figure12(scale float64) (*SlowdownTable, error) {
 		Title:   "Figure 12 - performance slowdown (Jcc update, ALLBB policy)",
 		Configs: names,
 	}
-	for _, prof := range workloads.All() {
-		p, err := prof.Build(scale)
-		if err != nil {
-			return nil, err
-		}
-		base, err := dbtCycles(p, nil, dbt.PolicyAllBB)
-		if err != nil {
-			return nil, err
-		}
-		row := SlowdownRow{Name: prof.Name, Suite: prof.Suite}
+	rows, err := slowdownRows(scale, workers, func(p *isa.Program, base uint64) ([]float64, error) {
+		var slow []float64
 		for _, tc := range techs {
 			c, err := dbtCycles(p, tc, dbt.PolicyAllBB)
 			if err != nil {
 				return nil, err
 			}
-			row.Slowdown = append(row.Slowdown, float64(c)/float64(base))
+			slow = append(slow, float64(c)/float64(base))
 		}
-		t.Rows = append(t.Rows, row)
+		return slow, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.computeGeomeans()
 	return t, nil
 }
@@ -131,33 +162,33 @@ type Figure14Table struct {
 }
 
 // Figure14 measures geometric-mean slowdowns for both update styles.
-func Figure14(scale float64) (*Figure14Table, error) {
+func Figure14(scale float64, workers int) (*Figure14Table, error) {
 	out := &Figure14Table{
 		Techniques: []string{"RCF", "EdgCF", "ECF"},
 		Styles:     []string{"Jcc", "CMOVcc"},
 	}
 	for si, style := range []dbt.UpdateStyle{dbt.UpdateJcc, dbt.UpdateCmov} {
 		techs := check.DBTTechniques(style)
-		var all [3][]float64
-		for _, prof := range workloads.All() {
-			p, err := prof.Build(scale)
-			if err != nil {
-				return nil, err
-			}
-			base, err := dbtCycles(p, nil, dbt.PolicyAllBB)
-			if err != nil {
-				return nil, err
-			}
-			for ti, tc := range techs {
+		rows, err := slowdownRows(scale, workers, func(p *isa.Program, base uint64) ([]float64, error) {
+			var slow []float64
+			for _, tc := range techs {
 				c, err := dbtCycles(p, tc, dbt.PolicyAllBB)
 				if err != nil {
 					return nil, err
 				}
-				all[ti] = append(all[ti], float64(c)/float64(base))
+				slow = append(slow, float64(c)/float64(base))
 			}
+			return slow, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		for ti := range techs {
-			out.Slowdown[si][ti] = Geomean(all[ti])
+			var all []float64
+			for _, row := range rows {
+				all = append(all, row.Slowdown[ti])
+			}
+			out.Slowdown[si][ti] = Geomean(all)
 		}
 	}
 	return out, nil
@@ -165,7 +196,7 @@ func Figure14(scale float64) (*Figure14Table, error) {
 
 // Figure15 measures the RCF technique under the four signature checking
 // policies.
-func Figure15(scale float64) (*SlowdownTable, error) {
+func Figure15(scale float64, workers int) (*SlowdownTable, error) {
 	pols := dbt.Policies()
 	names := make([]string, len(pols))
 	for i, pol := range pols {
@@ -175,25 +206,21 @@ func Figure15(scale float64) (*SlowdownTable, error) {
 		Title:   "Figure 15 - RCF slowdown under the checking policies",
 		Configs: names,
 	}
-	for _, prof := range workloads.All() {
-		p, err := prof.Build(scale)
-		if err != nil {
-			return nil, err
-		}
-		base, err := dbtCycles(p, nil, dbt.PolicyAllBB)
-		if err != nil {
-			return nil, err
-		}
-		row := SlowdownRow{Name: prof.Name, Suite: prof.Suite}
+	rows, err := slowdownRows(scale, workers, func(p *isa.Program, base uint64) ([]float64, error) {
+		var slow []float64
 		for _, pol := range pols {
 			c, err := dbtCycles(p, &check.RCF{Style: dbt.UpdateJcc}, pol)
 			if err != nil {
 				return nil, err
 			}
-			row.Slowdown = append(row.Slowdown, float64(c)/float64(base))
+			slow = append(slow, float64(c)/float64(base))
 		}
-		t.Rows = append(t.Rows, row)
+		return slow, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.computeGeomeans()
 	return t, nil
 }
@@ -209,52 +236,70 @@ type BaselineRow struct {
 
 // DBTBaseline measures the uninstrumented translator against native
 // execution (the paper reports ~12% average).
-func DBTBaseline(scale float64) ([]BaselineRow, float64, error) {
-	var rows []BaselineRow
-	var ratios []float64
-	for _, prof := range workloads.All() {
+func DBTBaseline(scale float64, workers int) ([]BaselineRow, float64, error) {
+	profs := workloads.All()
+	rows := make([]BaselineRow, len(profs))
+	err := par.ForEach(len(profs), workers, func(i int) error {
+		prof := profs[i]
 		p, err := prof.Build(scale)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 		m := cpu.New()
 		if stop := m.RunProgram(p, DefaultMaxSteps); stop.Reason != cpu.StopHalt {
-			return nil, 0, fmt.Errorf("%s: native %v", p.Name, stop)
+			return fmt.Errorf("%s: native %v", p.Name, stop)
 		}
 		dc, err := dbtCycles(p, nil, dbt.PolicyAllBB)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
-		r := BaselineRow{
+		rows[i] = BaselineRow{
 			Name:     prof.Name,
 			Suite:    prof.Suite,
 			Native:   m.Cycles,
 			DBT:      dc,
 			Overhead: float64(dc)/float64(m.Cycles) - 1,
 		}
-		rows = append(rows, r)
-		ratios = append(ratios, float64(dc)/float64(m.Cycles))
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	ratios := make([]float64, len(rows))
+	for i, r := range rows {
+		ratios[i] = float64(r.DBT) / float64(r.Native)
 	}
 	return rows, Geomean(ratios) - 1, nil
 }
 
 // Figure2 runs the error model over both suites, aggregating fault-site
 // counts per suite (dynamic weighting, as the paper's per-suite tables).
-func Figure2(scale float64) (intTab, fpTab *errmodel.Table, err error) {
-	intTab, fpTab = &errmodel.Table{}, &errmodel.Table{}
-	for _, prof := range workloads.All() {
-		p, err := prof.Build(scale)
+// The per-workload analyses fan across workers; tables merge in workload
+// order.
+func Figure2(scale float64, workers int) (intTab, fpTab *errmodel.Table, err error) {
+	profs := workloads.All()
+	tabs := make([]*errmodel.Table, len(profs))
+	err = par.ForEach(len(profs), workers, func(i int) error {
+		p, err := profs[i].Build(scale)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		t, err := errmodel.Analyze(p, DefaultMaxSteps)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
+		tabs[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	intTab, fpTab = &errmodel.Table{}, &errmodel.Table{}
+	for i, prof := range profs {
 		if prof.Suite == workloads.SuiteInt {
-			intTab.Add(t)
+			intTab.Add(tabs[i])
 		} else {
-			fpTab.Add(t)
+			fpTab.Add(tabs[i])
 		}
 	}
 	return intTab, fpTab, nil
@@ -266,6 +311,9 @@ type CoverageConfig struct {
 	Samples   int
 	Seed      int64
 	Workloads []string // nil: a representative int+fp subset
+	// Workers shards each campaign's samples (0 = GOMAXPROCS); the matrix
+	// itself is identical for every worker count.
+	Workers int
 }
 
 // CoverageMatrix runs fault-injection campaigns for every technique
@@ -303,6 +351,7 @@ func CoverageMatrix(cfg CoverageConfig) ([]*inject.Report, error) {
 		for _, p := range progs {
 			r, err := inject.Campaign(p, inject.Config{
 				Technique: tech, Samples: cfg.Samples, Seed: cfg.Seed,
+				Workers: cfg.Workers,
 			})
 			if err != nil {
 				return nil, err
@@ -319,7 +368,9 @@ func CoverageMatrix(cfg CoverageConfig) ([]*inject.Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := inject.StaticCampaign(ip, kind.String(), inject.Config{Samples: cfg.Samples, Seed: cfg.Seed})
+			r, err := inject.StaticCampaign(ip, kind.String(), inject.Config{
+				Samples: cfg.Samples, Seed: cfg.Seed, Workers: cfg.Workers,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -335,6 +386,8 @@ func mergeReports(dst, src *inject.Report) {
 	dst.NotFired += src.NotFired
 	dst.LatencySum += src.LatencySum
 	dst.LatencyN += src.LatencyN
+	dst.Elapsed += src.Elapsed
+	dst.Workers = src.Workers
 	for c, a := range src.ByCat {
 		da := dst.ByCat[c]
 		if da == nil {

@@ -27,7 +27,7 @@ func TestGeomean(t *testing.T) {
 }
 
 func TestFigure12Shape(t *testing.T) {
-	tab, err := Figure12(testScale)
+	tab, err := Figure12(testScale, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestFigure12Shape(t *testing.T) {
 }
 
 func TestFigure14Shape(t *testing.T) {
-	tab, err := Figure14(testScale)
+	tab, err := Figure14(testScale, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestFigure14Shape(t *testing.T) {
 }
 
 func TestFigure15Shape(t *testing.T) {
-	tab, err := Figure15(testScale)
+	tab, err := Figure15(testScale, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestFigure15Shape(t *testing.T) {
 }
 
 func TestDBTBaselineShape(t *testing.T) {
-	rows, avg, err := DBTBaseline(testScale)
+	rows, avg, err := DBTBaseline(testScale, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestDBTBaselineShape(t *testing.T) {
 }
 
 func TestFigure2Shape(t *testing.T) {
-	intTab, fpTab, err := Figure2(testScale)
+	intTab, fpTab, err := Figure2(testScale, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

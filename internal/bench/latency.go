@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dbt"
 	"repro/internal/inject"
+	"repro/internal/par"
 	"repro/internal/workloads"
 
 	"repro/internal/check"
@@ -25,29 +26,34 @@ type PolicyRow struct {
 
 // PolicyLatency measures RCF under all four policies: slowdown over the
 // whole suite, coverage/latency from injection campaigns on a workload
-// subset.
-func PolicyLatency(scale float64, samples int, seed int64) ([]PolicyRow, error) {
+// subset. workers fans the per-benchmark runs and shards the campaigns.
+func PolicyLatency(scale float64, samples int, seed int64, workers int) ([]PolicyRow, error) {
 	campaignLoads := []string{"164.gzip", "183.equake"}
 	var rows []PolicyRow
 	for _, pol := range dbt.Policies() {
 		row := PolicyRow{Policy: pol}
 
 		// Slowdown across the full suite.
-		var ratios []float64
-		for _, prof := range workloads.All() {
-			p, err := prof.Build(scale)
+		profs := workloads.All()
+		ratios := make([]float64, len(profs))
+		err := par.ForEach(len(profs), workers, func(i int) error {
+			p, err := profs[i].Build(scale)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			base, err := dbtCycles(p, nil, dbt.PolicyAllBB)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			c, err := dbtCycles(p, &check.RCF{Style: dbt.UpdateJcc}, pol)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			ratios = append(ratios, float64(c)/float64(base))
+			ratios[i] = float64(c) / float64(base)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		row.Slowdown = Geomean(ratios)
 
@@ -70,6 +76,7 @@ func PolicyLatency(scale float64, samples int, seed int64) ([]PolicyRow, error) 
 				Samples:   samples,
 				Seed:      seed,
 				MaxSteps:  20_000_000,
+				Workers:   workers,
 			})
 			if err != nil {
 				return nil, err

@@ -137,14 +137,16 @@ func AnalyzeErrors(p *isa.Program, maxSteps uint64) (*errmodel.Table, error) {
 	return errmodel.Analyze(p, maxSteps)
 }
 
-// Inject runs a randomized single-fault campaign under the DBT.
-func Inject(p *isa.Program, c Config, samples int, seed int64) (*inject.Report, error) {
+// Inject runs a randomized single-fault campaign under the DBT. workers
+// shards the samples across goroutines (0 means GOMAXPROCS); the report is
+// bit-identical for every worker count.
+func Inject(p *isa.Program, c Config, samples int, seed int64, workers int) (*inject.Report, error) {
 	tech, pol, err := c.Resolve()
 	if err != nil {
 		return nil, err
 	}
 	return inject.Campaign(p, inject.Config{
-		Technique: tech, Policy: pol, Samples: samples, Seed: seed,
+		Technique: tech, Policy: pol, Samples: samples, Seed: seed, Workers: workers,
 	})
 }
 

@@ -85,14 +85,14 @@ func TestAnalyzeAndInjectFacade(t *testing.T) {
 	if tab.Total == 0 {
 		t.Error("no fault sites")
 	}
-	rep, err := Inject(p, Config{Technique: "EdgCF", Style: "CMOVcc"}, 40, 1)
+	rep, err := Inject(p, Config{Technique: "EdgCF", Style: "CMOVcc"}, 40, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Totals.Total == 0 {
 		t.Error("no faults fired")
 	}
-	if _, err := Inject(p, Config{Technique: "zzz"}, 1, 1); err == nil {
+	if _, err := Inject(p, Config{Technique: "zzz"}, 1, 1, 1); err == nil {
 		t.Error("bad config should fail")
 	}
 }

@@ -18,7 +18,7 @@ type Options struct {
 	// dispatches through the translator (ablation knob).
 	NoChaining bool
 	// TraceThreshold is the back-edge dispatch count that triggers hot
-	// trace formation; 0 means the default (50), negative disables the
+	// trace formation; 0 means the default (16), negative disables the
 	// trace backend.
 	TraceThreshold int
 	// Costs overrides the cost model (default cpu.DefaultCosts).
@@ -128,7 +128,8 @@ func New(p *isa.Program, opts Options) *DBT {
 // Prog returns the guest program.
 func (d *DBT) Prog() *isa.Program { return d.prog }
 
-// Stats returns translator statistics accumulated so far.
+// StatsSnapshot returns a copy of the translator statistics accumulated so
+// far.
 func (d *DBT) StatsSnapshot() Stats { return d.stats }
 
 // CacheLen returns the current code cache size in instructions.

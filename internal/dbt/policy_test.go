@@ -72,11 +72,11 @@ func TestSigOf(t *testing.T) {
 
 func TestTBlockString(t *testing.T) {
 	tb := &TBlock{GuestStart: 4, CacheStart: 8, CacheEnd: 20}
-	if s := tb.String(); s == "" || s[:5] != "block" {
+	if s := tb.String(); s != "block guest=0x4 cache=[0x8,0x14)" {
 		t.Errorf("String = %q", s)
 	}
 	tb.IsTrace = true
-	if s := tb.String(); s[:5] != "trace" {
+	if s := tb.String(); s != "trace guest=0x4 cache=[0x8,0x14)" {
 		t.Errorf("String = %q", s)
 	}
 }

@@ -1,0 +1,72 @@
+package dbt
+
+import "repro/internal/isa"
+
+// Snapshot is a frozen copy of a translator's warm state: the code cache,
+// the guest-to-translation map, the cache-ordered block list, the chaining
+// stubs (including their profiling counters) and the accumulated stats.
+// Snapshots exist so that fault-injection campaigns can fan samples across
+// goroutines without each worker re-running the warm-up loop: every worker
+// primes a private DBT from the snapshot and starts with the fully
+// translated, chained and trace-formed cache.
+//
+// A Snapshot is immutable and safe for concurrent use. TBlocks are shared
+// by pointer between the snapshot and every DBT primed from it — they are
+// never mutated after translation — while the cache, block map, tlist and
+// stub slices are copied on both capture and restore, because faulty runs
+// mutate them in place (stub patching, chaining, new translations of wild
+// branch targets).
+type Snapshot struct {
+	prog          *isa.Program
+	opts          Options
+	cache         []isa.Instr
+	blocks        map[uint32]*TBlock
+	tlist         []*TBlock
+	stubs         []stub
+	pendingCycles uint64
+	stats         Stats
+}
+
+// Snapshot captures the translator's current state. Call it between Run
+// calls (typically after the warm-up runs have stabilized the cache).
+func (d *DBT) Snapshot() *Snapshot {
+	s := &Snapshot{
+		prog:          d.prog,
+		opts:          d.opts,
+		cache:         append([]isa.Instr(nil), d.cache...),
+		blocks:        make(map[uint32]*TBlock, len(d.blocks)),
+		tlist:         append([]*TBlock(nil), d.tlist...),
+		stubs:         append([]stub(nil), d.stubs...),
+		pendingCycles: d.pendingCycles,
+		stats:         d.stats,
+	}
+	for g, tb := range d.blocks {
+		s.blocks[g] = tb
+	}
+	return s
+}
+
+// CacheLen returns the snapshot's code cache size in instructions.
+func (s *Snapshot) CacheLen() int { return len(s.cache) }
+
+// NewDBT returns a fresh translator primed with a private copy of the
+// snapshot state: warm runs on it skip translation exactly as on the
+// snapshotted instance, and any mutation (chaining under a faulty run, new
+// translations) stays local to the returned DBT.
+func (s *Snapshot) NewDBT() *DBT {
+	d := &DBT{
+		prog:          s.prog,
+		opts:          s.opts,
+		tech:          s.opts.Technique,
+		cache:         append([]isa.Instr(nil), s.cache...),
+		blocks:        make(map[uint32]*TBlock, len(s.blocks)),
+		tlist:         append([]*TBlock(nil), s.tlist...),
+		stubs:         append([]stub(nil), s.stubs...),
+		pendingCycles: s.pendingCycles,
+		stats:         s.stats,
+	}
+	for g, tb := range s.blocks {
+		d.blocks[g] = tb
+	}
+	return d
+}

@@ -1,0 +1,97 @@
+package dbt
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// The documented default must stay pinned: campaign reproducibility depends
+// on every DBT forming traces at the same dispatch count.
+func TestDefaultTraceThreshold(t *testing.T) {
+	if defaultTraceThreshold != 16 {
+		t.Fatalf("defaultTraceThreshold = %d, want 16", defaultTraceThreshold)
+	}
+	p := mustAssemble(t, sumSrc)
+	if got := New(p, Options{}).opts.TraceThreshold; got != 16 {
+		t.Errorf("New with zero TraceThreshold resolved to %d, want 16", got)
+	}
+	if got := New(p, Options{TraceThreshold: 3}).opts.TraceThreshold; got != 3 {
+		t.Errorf("explicit TraceThreshold overridden to %d", got)
+	}
+	if got := New(p, Options{TraceThreshold: -1}).opts.TraceThreshold; got != -1 {
+		t.Errorf("negative TraceThreshold (traces off) overridden to %d", got)
+	}
+}
+
+// A DBT primed from a warm snapshot must behave exactly like the
+// snapshotted instance: same output, same cycles, and no re-translation.
+func TestSnapshotPrimesWarmDBT(t *testing.T) {
+	p := mustAssemble(t, hotLoopSrc)
+	d := New(p, Options{TraceThreshold: 20})
+	for i := 0; i < 3; i++ {
+		if res := d.Run(nil, 10_000_000); res.Stop.Reason != cpu.StopHalt {
+			t.Fatalf("warm-up run %d: %v", i, res.Stop)
+		}
+	}
+	snap := d.Snapshot()
+	if snap.CacheLen() != d.CacheLen() {
+		t.Fatalf("snapshot cache %d != dbt cache %d", snap.CacheLen(), d.CacheLen())
+	}
+
+	warm := d.Run(nil, 10_000_000)
+	clone := snap.NewDBT().Run(nil, 10_000_000)
+	if clone.Stop != warm.Stop || clone.Cycles != warm.Cycles {
+		t.Errorf("clone run (%v, %d cycles) != warm original (%v, %d cycles)",
+			clone.Stop, clone.Cycles, warm.Stop, warm.Cycles)
+	}
+	if len(clone.Output) != len(warm.Output) || clone.Output[0] != warm.Output[0] {
+		t.Errorf("clone output %v != %v", clone.Output, warm.Output)
+	}
+	if clone.Stats.BlocksTranslated != warm.Stats.BlocksTranslated ||
+		clone.Stats.TracesFormed != warm.Stats.TracesFormed {
+		t.Errorf("clone re-translated: stats %+v != %+v", clone.Stats, warm.Stats)
+	}
+}
+
+// Mutations on a primed DBT (chaining, fresh translations under a faulty
+// run) must stay local to that instance: the snapshot and its siblings are
+// unaffected.
+func TestSnapshotIsolation(t *testing.T) {
+	p := mustAssemble(t, hotLoopSrc)
+
+	// Cold snapshot: every clone starts empty and grows privately.
+	cold := New(p, Options{}).Snapshot()
+	c1 := cold.NewDBT()
+	c1.Run(nil, 10_000_000)
+	if c1.CacheLen() == 0 {
+		t.Fatal("clone run translated nothing")
+	}
+	if cold.CacheLen() != 0 {
+		t.Errorf("clone run grew the snapshot cache to %d", cold.CacheLen())
+	}
+	if c2 := cold.NewDBT(); c2.CacheLen() != 0 {
+		t.Errorf("sibling clone starts with cache %d, want 0", c2.CacheLen())
+	}
+
+	// Warm snapshot: a faulty run (which may chain stubs in place and
+	// translate wild targets) must not disturb later clones.
+	d := New(p, Options{TraceThreshold: 20})
+	for i := 0; i < 3; i++ {
+		d.Run(nil, 10_000_000)
+	}
+	snap := d.Snapshot()
+	want := snap.NewDBT().Run(nil, 10_000_000)
+
+	f := &cpu.Fault{Kind: cpu.FaultOffsetBit, BranchIndex: 5, Bit: 9}
+	snap.NewDBT().Run(f, 10_000_000)
+	if !f.Fired {
+		t.Fatal("fault did not fire")
+	}
+
+	after := snap.NewDBT().Run(nil, 10_000_000)
+	if after.Cycles != want.Cycles || after.Output[0] != want.Output[0] {
+		t.Errorf("faulty sibling leaked state: (%d cycles, %v) != (%d cycles, %v)",
+			after.Cycles, after.Output, want.Cycles, want.Output)
+	}
+}

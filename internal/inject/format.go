@@ -3,6 +3,7 @@ package inject
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/errmodel"
 )
@@ -30,6 +31,10 @@ func FormatReport(r *Report) string {
 		t.Count[OutSDC], t.Count[OutHang], t.Coverage()*100)
 	if r.LatencyN > 0 {
 		fmt.Fprintf(&b, "mean detection latency: %.0f instructions\n", r.MeanLatency())
+	}
+	if r.Elapsed > 0 {
+		fmt.Fprintf(&b, "throughput: %.0f runs/s (%d workers, %v wall-clock)\n",
+			r.Throughput(), r.Workers, r.Elapsed.Round(time.Millisecond))
 	}
 	return b.String()
 }

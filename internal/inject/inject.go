@@ -8,12 +8,13 @@ package inject
 
 import (
 	"fmt"
-	"math/rand"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/dbt"
 	"repro/internal/errmodel"
 	"repro/internal/isa"
+	"repro/internal/par"
 )
 
 // Outcome classifies one faulty run.
@@ -49,6 +50,10 @@ func (o Outcome) String() string {
 
 // Record is one injected fault and its result.
 type Record struct {
+	// Sample is the campaign sample index this record came from. Records
+	// are kept in sample order, so a report is comparable field-for-field
+	// across worker counts.
+	Sample   int
 	Fault    cpu.Fault
 	Outcome  Outcome
 	Category errmodel.Category
@@ -96,8 +101,22 @@ type Report struct {
 	// LatencySum/LatencyN give the mean detection latency.
 	LatencySum uint64
 	LatencyN   int
-	// Records holds the individual runs when Config.KeepRecords is set.
+	// Records holds the individual runs when Config.KeepRecords is set,
+	// in sample order.
 	Records []Record
+	// Workers is the resolved worker count that ran the campaign and
+	// Elapsed the wall-clock of the injection phase (warm-up excluded).
+	// Neither influences the classified results.
+	Workers int
+	Elapsed time.Duration
+}
+
+// Throughput returns classified runs per second of wall-clock.
+func (r *Report) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Samples) / r.Elapsed.Seconds()
 }
 
 // MeanLatency returns the mean detection latency in instructions.
@@ -127,10 +146,85 @@ type Config struct {
 	RegFaults bool
 	// Body forwards a body transform (data-flow checking) to the DBT.
 	Body dbt.BodyTransform
+	// Workers shards the samples across a goroutine pool; 0 means
+	// GOMAXPROCS. Results are bit-identical for every worker count: each
+	// sample derives its fault from (Seed, index) and runs on a private
+	// clone of the warmed translator.
+	Workers int
+}
+
+// deriveFault builds sample index's fault as a pure function of the
+// campaign seed, the sample index and the clean-run geometry.
+func deriveFault(cfg *Config, index int, branches, steps uint64) *cpu.Fault {
+	rng := newSampleRNG(cfg.Seed, index)
+	if cfg.RegFaults {
+		return &cpu.Fault{
+			Kind:      cpu.FaultRegBit,
+			StepIndex: rng.Uint64n(steps),
+			Reg:       isa.Reg(rng.Intn(isa.NumGuestRegs)),
+			Bit:       uint(rng.Intn(32)),
+		}
+	}
+	return deriveBranchFault(&rng, branches)
+}
+
+// deriveBranchFault draws a branch-site fault: offset bits and flag bits in
+// proportion to their site counts, mirroring the error model.
+func deriveBranchFault(rng *sampleRNG, branches uint64) *cpu.Fault {
+	f := &cpu.Fault{BranchIndex: rng.Uint64n(branches)}
+	if rng.Intn(isa.OffsetBits+isa.NumFlagBits) < isa.NumFlagBits {
+		f.Kind = cpu.FaultFlagBit
+		f.Bit = uint(rng.Intn(isa.NumFlagBits))
+	} else {
+		f.Kind = cpu.FaultOffsetBit
+		f.Bit = uint(rng.Intn(isa.OffsetBits))
+	}
+	return f
+}
+
+// sampleResult is one sample's classified outcome, produced by a worker
+// and merged into the Report in sample order.
+type sampleResult struct {
+	fired bool
+	rec   Record
+}
+
+// merge folds per-sample results into the report in index order, so the
+// aggregates (and Records) never depend on which worker ran which sample.
+func (r *Report) merge(results []sampleResult, keepRecords bool) {
+	for i := range results {
+		s := &results[i]
+		if !s.fired {
+			r.NotFired++
+			continue
+		}
+		rec := s.rec
+		if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
+			r.LatencySum += rec.Latency
+			r.LatencyN++
+		}
+		agg := r.ByCat[rec.Category]
+		if agg == nil {
+			agg = &Agg{}
+			r.ByCat[rec.Category] = agg
+		}
+		agg.add(rec.Outcome)
+		r.Totals.add(rec.Outcome)
+		if keepRecords {
+			r.Records = append(r.Records, rec)
+		}
+	}
 }
 
 // Campaign injects cfg.Samples random single faults into executions of p
 // under the translator and classifies every outcome.
+//
+// The translator is warmed once (until the dynamic branch count
+// stabilizes), snapshotted, and every sample then runs on a private clone
+// of the snapshot: a faulty run's cache mutations (chaining, wild-target
+// translations) never leak into other samples. Combined with per-index
+// fault derivation this makes the classified results a pure function of
+// (program, cfg minus Workers) — Workers only changes the wall-clock.
 func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 	if cfg.Samples <= 0 {
 		cfg.Samples = 100
@@ -179,56 +273,34 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 		Policy:    cfg.Policy,
 		Samples:   cfg.Samples,
 		ByCat:     map[errmodel.Category]*Agg{},
+		Workers:   par.Workers(cfg.Workers, cfg.Samples),
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	snap := d.Snapshot()
+	steps := clean.Steps
 
-	for s := 0; s < cfg.Samples; s++ {
-		var f *cpu.Fault
-		if cfg.RegFaults {
-			f = &cpu.Fault{
-				Kind:      cpu.FaultRegBit,
-				StepIndex: uint64(rng.Int63n(int64(clean.Steps))),
-				Reg:       isa.Reg(rng.Intn(isa.NumGuestRegs)),
-				Bit:       uint(rng.Intn(32)),
-			}
-		} else {
-			f = &cpu.Fault{BranchIndex: uint64(rng.Int63n(int64(branches)))}
-			// Site choice mirrors the error model: offset bits and flag
-			// bits in proportion to their site counts.
-			if rng.Intn(isa.OffsetBits+isa.NumFlagBits) < isa.NumFlagBits {
-				f.Kind = cpu.FaultFlagBit
-				f.Bit = uint(rng.Intn(isa.NumFlagBits))
-			} else {
-				f.Kind = cpu.FaultOffsetBit
-				f.Bit = uint(rng.Intn(isa.OffsetBits))
-			}
-		}
-		res := d.Run(f, cfg.MaxSteps)
+	results := make([]sampleResult, cfg.Samples)
+	start := time.Now()
+	par.ForEach(cfg.Samples, rep.Workers, func(i int) error {
+		f := deriveFault(&cfg, i, branches, steps)
+		sd := snap.NewDBT()
+		res := sd.Run(f, cfg.MaxSteps)
 		if !f.Fired {
-			rep.NotFired++
-			continue
+			return nil
 		}
 		rec := Record{
+			Sample:   i,
 			Fault:    *f,
 			Outcome:  classifyOutcome(res, want),
-			Category: classifyCategory(d, f),
+			Category: classifyCategory(sd, f),
 		}
 		if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
 			rec.Latency = res.Steps - f.FiredStep
-			rep.LatencySum += rec.Latency
-			rep.LatencyN++
 		}
-		agg := rep.ByCat[rec.Category]
-		if agg == nil {
-			agg = &Agg{}
-			rep.ByCat[rec.Category] = agg
-		}
-		agg.add(rec.Outcome)
-		rep.Totals.add(rec.Outcome)
-		if cfg.KeepRecords {
-			rep.Records = append(rep.Records, rec)
-		}
-	}
+		results[i] = sampleResult{fired: true, rec: rec}
+		return nil
+	})
+	rep.Elapsed = time.Since(start)
+	rep.merge(results, cfg.KeepRecords)
 	return rep, nil
 }
 

@@ -1,0 +1,56 @@
+package inject
+
+// Per-sample fault derivation. A campaign used to draw every fault from one
+// sequential math/rand stream, which welds the classified outcomes to the
+// order samples happen to run in — a non-starter for a sharded campaign.
+// Instead, each sample index derives its own splitmix64 stream from
+// (seed, index), so sample i's fault is a pure function of the campaign
+// seed and i: a campaign's classified results are bit-identical regardless
+// of worker count, shard assignment or completion order.
+
+// splitmix64 constants (Steele, Lea & Flood, "Fast Splittable
+// Pseudorandom Number Generators").
+const (
+	smixGamma = 0x9E3779B97F4A7C15
+	smixMulA  = 0xBF58476D1CE4E5B9
+	smixMulB  = 0x94D049BB133111EB
+)
+
+// mix64 is the splitmix64 finalizer: an avalanching bijection on uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= smixMulA
+	x ^= x >> 27
+	x *= smixMulB
+	x ^= x >> 31
+	return x
+}
+
+// sampleRNG is a splitmix64 stream keyed by (seed, sample index).
+type sampleRNG struct {
+	state uint64
+}
+
+// newSampleRNG derives the stream for one sample. Seed and index are mixed
+// separately before combining so that neighbouring seeds or indices share
+// no correlation.
+func newSampleRNG(seed int64, index int) sampleRNG {
+	return sampleRNG{state: mix64(uint64(seed)) ^ mix64(uint64(index)+smixGamma)}
+}
+
+// Uint64 returns the next value of the stream.
+func (r *sampleRNG) Uint64() uint64 {
+	r.state += smixGamma
+	return mix64(r.state)
+}
+
+// Uint64n returns a value in [0, n). n must be positive. The modulo bias
+// is below 2^-32 for every n the fault model uses (step and branch counts).
+func (r *sampleRNG) Uint64n(n uint64) uint64 {
+	return r.Uint64() % n
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *sampleRNG) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}

@@ -2,18 +2,24 @@ package inject
 
 import (
 	"fmt"
-	"math/rand"
+	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/cpu"
 	"repro/internal/errmodel"
 	"repro/internal/isa"
+	"repro/internal/par"
 )
 
 // StaticCampaign injects single faults into a program executed directly on
 // the machine (no translator) — used for the statically instrumented
 // CFCSS/ECCA baselines and for unprotected native runs. Faulty branch
 // targets are classified against the program's own CFG.
+//
+// Like Campaign, samples shard across cfgn.Workers goroutines with
+// per-index fault derivation, so the classified results are bit-identical
+// for every worker count. Native runs share nothing mutable — each sample
+// gets its own machine; the CFG is read-only after Build.
 func StaticCampaign(p *isa.Program, label string, cfgn Config) (*Report, error) {
 	if cfgn.Samples <= 0 {
 		cfgn.Samples = 100
@@ -40,46 +46,34 @@ func StaticCampaign(p *isa.Program, label string, cfgn Config) (*Report, error) 
 		Policy:    cfgn.Policy,
 		Samples:   cfgn.Samples,
 		ByCat:     map[errmodel.Category]*Agg{},
+		Workers:   par.Workers(cfgn.Workers, cfgn.Samples),
 	}
-	rng := rand.New(rand.NewSource(cfgn.Seed))
-	for s := 0; s < cfgn.Samples; s++ {
-		f := &cpu.Fault{BranchIndex: uint64(rng.Int63n(int64(branches)))}
-		if rng.Intn(isa.OffsetBits+isa.NumFlagBits) < isa.NumFlagBits {
-			f.Kind = cpu.FaultFlagBit
-			f.Bit = uint(rng.Intn(isa.NumFlagBits))
-		} else {
-			f.Kind = cpu.FaultOffsetBit
-			f.Bit = uint(rng.Intn(isa.OffsetBits))
-		}
+	results := make([]sampleResult, cfgn.Samples)
+	start := time.Now()
+	par.ForEach(cfgn.Samples, rep.Workers, func(i int) error {
+		rng := newSampleRNG(cfgn.Seed, i)
+		f := deriveBranchFault(&rng, branches)
 		m := cpu.New()
 		m.Reset(p)
 		m.Fault = f
 		stop := m.Run(p.Code, cfgn.MaxSteps)
 		if !f.Fired {
-			rep.NotFired++
-			continue
+			return nil
 		}
 		rec := Record{
+			Sample:   i,
 			Fault:    *f,
 			Outcome:  classifyStaticOutcome(stop, m.Output, want),
 			Category: classifyStaticCategory(g, f),
 		}
 		if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
 			rec.Latency = m.Steps - f.FiredStep
-			rep.LatencySum += rec.Latency
-			rep.LatencyN++
 		}
-		agg := rep.ByCat[rec.Category]
-		if agg == nil {
-			agg = &Agg{}
-			rep.ByCat[rec.Category] = agg
-		}
-		agg.add(rec.Outcome)
-		rep.Totals.add(rec.Outcome)
-		if cfgn.KeepRecords {
-			rep.Records = append(rep.Records, rec)
-		}
-	}
+		results[i] = sampleResult{fired: true, rec: rec}
+		return nil
+	})
+	rep.Elapsed = time.Since(start)
+	rep.merge(results, cfgn.KeepRecords)
 	return rep, nil
 }
 

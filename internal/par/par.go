@@ -1,0 +1,72 @@
+// Package par is the deterministic fan-out primitive shared by the
+// fault-injection and benchmark harnesses: a fixed pool of goroutines
+// drains an indexed job list, and every job writes only its own result
+// slot. Because job i's inputs are derived from i alone and the caller
+// merges slots in index order, the combined result is bit-identical
+// regardless of the worker count or the order in which jobs finish.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n <= 0 selects GOMAXPROCS, and the
+// pool is never larger than the job count.
+func Workers(n, jobs int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, jobs) on at most workers
+// goroutines (resolved through Workers). It returns the error of the
+// lowest-indexed failing job, so the reported error does not depend on
+// scheduling. With one worker the jobs run inline on the calling
+// goroutine in index order.
+func ForEach(jobs, workers int, fn func(i int) error) error {
+	if jobs <= 0 {
+		return nil
+	}
+	workers = Workers(workers, jobs)
+	if workers == 1 {
+		for i := 0; i < jobs; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, jobs)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= jobs {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct{ n, jobs, want int }{
+		{0, 100, min(max, 100)},
+		{-3, 100, min(max, 100)},
+		{4, 100, 4},
+		{4, 2, 2},
+		{1, 0, 1},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.n, c.jobs); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.n, c.jobs, got, c.want)
+		}
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const jobs = 500
+		var counts [jobs]atomic.Int32
+		err := ForEach(jobs, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if n := counts[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(100, workers, func(i int) error {
+			if i%10 == 3 {
+				return fmt.Errorf("job %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3" {
+			t.Errorf("workers=%d: err = %v, want job 3", workers, err)
+		}
+	}
+}
+
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := ForEach(100, 1, func(i int) error {
+		ran++
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || ran != 6 {
+		t.Errorf("err = %v after %d jobs, want boom after 6", err, ran)
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("zero jobs: %v", err)
+	}
+}
