@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -23,11 +24,14 @@ func main() {
 		entry = flag.Uint("entry", 0, "entry address for -d")
 		data  = flag.Uint("data", 4096, "data segment words for -d")
 	)
+	var cli obs.CLI
+	cli.BindFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cfc-asm [-d] [-o out] file")
 		os.Exit(2)
 	}
+	fatalIf(cli.Open())
 	in := flag.Arg(0)
 	src, err := os.ReadFile(in)
 	if err != nil {
@@ -39,12 +43,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		publishProgram(cli.Registry(), "disassemble", p)
 		text := core.Disassemble(p)
 		if *out == "" {
 			fmt.Print(text)
+			fatalIf(cli.Close())
 			return
 		}
 		fatalIf(os.WriteFile(*out, []byte(text), 0o644))
+		fatalIf(cli.Close())
 		return
 	}
 
@@ -52,6 +59,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	publishProgram(cli.Registry(), "assemble", p)
 	dst := *out
 	if dst == "" {
 		dst = "a.bin"
@@ -59,6 +67,15 @@ func main() {
 	fatalIf(os.WriteFile(dst, p.Image(), 0o644))
 	fmt.Printf("%s: %d instructions, entry 0x%x, data %d words -> %s\n",
 		p.Name, p.Len(), p.Entry, p.DataWords, dst)
+	fatalIf(cli.Close())
+}
+
+func publishProgram(reg *obs.Registry, mode string, p *isa.Program) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(fmt.Sprintf("asm_programs_total{mode=%q}", mode)).Inc()
+	reg.Counter(fmt.Sprintf("asm_instructions_total{mode=%q}", mode)).Add(uint64(p.Len()))
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,38 +29,53 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload dynamic scale")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	)
+	var cli obs.CLI
+	cli.BindFlags(flag.CommandLine)
 	flag.Parse()
+	fatalIf(cli.Open())
+	reg := cli.Registry()
 
 	run := func(name string) {
+		// Figure-level section markers; the campaign-running figures do
+		// not rebuild per-sample traces here (use cfc-inject for that).
+		cli.Tracer().Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: "figure:" + name})
+		defer cli.Tracer().Emit(obs.Event{Kind: obs.EvCampaignEnd, Detail: "figure:" + name})
 		switch name {
 		case "12":
 			t, err := bench.Figure12(*scale, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatSlowdownTable(t))
+			bench.PublishSlowdownTable(reg, "12", t)
 		case "14":
 			t, err := bench.Figure14(*scale, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatFigure14(t))
+			bench.PublishFigure14(reg, t)
 		case "15":
 			t, err := bench.Figure15(*scale, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatSlowdownTable(t))
+			bench.PublishSlowdownTable(reg, "15", t)
 		case "dbt":
 			rows, avg, err := bench.DBTBaseline(*scale, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatBaseline(rows, avg))
+			bench.PublishBaseline(reg, rows, avg)
 		case "ablate":
 			rows, err := bench.Ablations(*scale, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatAblations(rows))
+			bench.PublishAblations(reg, rows)
 		case "dfc":
 			reports, err := bench.DataFlowCoverage(minF(*scale, 0.1), 300, 1, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatDataFlowCoverage(reports))
+			bench.PublishCoverage(reg, "dfc", reports)
 		case "latency":
 			rows, err := bench.PolicyLatency(minF(*scale, 0.3), 300, 1, *workers)
 			fatalIf(err)
 			fmt.Print(bench.FormatPolicyLatency(rows))
+			bench.PublishPolicyLatency(reg, rows)
 		default:
 			fmt.Fprintf(os.Stderr, "cfc-bench: unknown figure %q\n", name)
 			os.Exit(2)
@@ -71,9 +87,11 @@ func main() {
 		for _, f := range []string{"dbt", "12", "14", "15", "ablate", "dfc", "latency"} {
 			run(f)
 		}
+		fatalIf(cli.Close())
 		return
 	}
 	run(*fig)
+	fatalIf(cli.Close())
 }
 
 // minF caps the campaign scale: fault injection runs the program once per

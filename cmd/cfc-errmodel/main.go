@@ -11,6 +11,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/errmodel"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -19,7 +20,10 @@ func main() {
 		workload = flag.String("workload", "", "analyze a single workload instead of both suites")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	)
+	var cli obs.CLI
+	cli.BindFlags(flag.CommandLine)
 	flag.Parse()
+	fatalIf(cli.Open())
 
 	if *workload != "" {
 		p, err := core.Workload(*workload, *scale)
@@ -33,6 +37,8 @@ func main() {
 		fmt.Print(errmodel.FormatFigure2("Branch-error probabilities: "+*workload, t))
 		fmt.Println()
 		fmt.Print(errmodel.FormatFigure3("Normalized: "+*workload, t))
+		publishTable(cli.Registry(), *workload, t)
+		fatalIf(cli.Close())
 		return
 	}
 
@@ -47,9 +53,38 @@ func main() {
 	fmt.Print(errmodel.FormatFigure3("Figure 3 — SPEC-Int 2000", intTab))
 	fmt.Println()
 	fmt.Print(errmodel.FormatFigure3("Figure 3 — SPEC-Fp 2000", fpTab))
+	publishTable(cli.Registry(), "spec-int", intTab)
+	publishTable(cli.Registry(), "spec-fp", fpTab)
+	fatalIf(cli.Close())
+}
+
+// publishTable exports a Figure 2 table's fault-site counts per category,
+// plus the analyzed-branch totals, labeled by suite (or workload name).
+func publishTable(reg *obs.Registry, suite string, t *errmodel.Table) {
+	if reg == nil {
+		return
+	}
+	for c := errmodel.CatA; c < errmodel.NumCategories; c++ {
+		var n uint64
+		for d := 0; d < 2; d++ {
+			for k := 0; k < 2; k++ {
+				n += t.Counts[c][d][k]
+			}
+		}
+		reg.Counter(fmt.Sprintf("errmodel_fault_sites_total{suite=%q,category=%q}",
+			suite, c.String())).Add(n)
+	}
+	reg.Counter(fmt.Sprintf("errmodel_branches_total{suite=%q}", suite)).Add(t.Branches)
+	reg.Counter(fmt.Sprintf("errmodel_indirect_skipped_total{suite=%q}", suite)).Add(t.IndirectSkipped)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cfc-errmodel:", err)
 	os.Exit(1)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -39,7 +40,10 @@ func main() {
 		matrix   = flag.Bool("matrix", false, "run the full coverage matrix instead")
 		jsonOut  = flag.String("json", "", "write a throughput benchmark record to this file")
 	)
+	var cli obs.CLI
+	cli.BindFlags(flag.CommandLine)
 	flag.Parse()
+	fatalIf(cli.Open())
 
 	if *matrix {
 		reports, err := bench.CoverageMatrix(bench.CoverageConfig{
@@ -47,9 +51,12 @@ func main() {
 			Samples: *samples,
 			Seed:    *seed,
 			Workers: *workers,
+			Metrics: cli.Registry(),
+			Trace:   cli.Tracer(),
 		})
 		fatalIf(err)
 		fmt.Print(bench.FormatCoverageMatrix(reports))
+		fatalIf(cli.Close())
 		return
 	}
 
@@ -58,12 +65,16 @@ func main() {
 	cfg := core.Config{Technique: *tech, Style: *style, Policy: *policy}
 
 	if *jsonOut != "" {
+		// The determinism-check runs stay unobserved so the snapshot and
+		// trace describe exactly one campaign: the reported one below.
 		fatalIf(writeBenchJSON(*jsonOut, p, cfg, *samples, *seed, *workers))
 	}
 
+	cfg.Metrics, cfg.Trace = cli.Registry(), cli.Tracer()
 	rep, err := core.Inject(p, cfg, *samples, *seed, *workers)
 	fatalIf(err)
 	fmt.Print(inject.FormatReport(rep))
+	fatalIf(cli.Close())
 }
 
 // benchRecord is the schema of the -json output, one file per campaign.
@@ -130,12 +141,14 @@ func writeBenchJSON(path string, p *isa.Program, cfg core.Config, samples int, s
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-// sameReport compares everything a campaign classifies, ignoring the
-// timing fields that legitimately differ between runs.
+// sameReport compares everything a campaign classifies — including the
+// merged per-sample translator statistics — ignoring the timing fields
+// that legitimately differ between runs.
 func sameReport(a, b *inject.Report) bool {
 	return a.NotFired == b.NotFired &&
 		a.LatencySum == b.LatencySum &&
 		a.LatencyN == b.LatencyN &&
+		a.Translator == b.Translator &&
 		reflect.DeepEqual(a.Totals, b.Totals) &&
 		reflect.DeepEqual(a.ByCat, b.ByCat)
 }

@@ -6,16 +6,20 @@
 //
 //	cfc-run -workload 181.mcf -technique RCF -policy ALLBB
 //	cfc-run -bin prog.bin -native
+//	cfc-run -workload 164.gzip -technique RCF -json run.json -metrics run.prom -trace run.jsonl
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/dbt"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,7 +35,10 @@ func main() {
 		policy   = flag.String("policy", "ALLBB", "ALLBB|RET-BE|RET|END")
 		maxSteps = flag.Uint64("max-steps", 2_000_000_000, "step budget")
 		list     = flag.Bool("list", false, "list workload names and exit")
+		jsonOut  = flag.String("json", "", "write a machine-readable run record to `file`")
 	)
+	var cli obs.CLI
+	cli.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -58,16 +65,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fatalIf(cli.Open())
 
 	if *native {
 		res := core.RunNative(p, *maxSteps)
 		fmt.Printf("native: stop=%v cycles=%d steps=%d output=%v\n",
 			res.Stop, res.Cycles, res.Steps, res.Output)
+		rec := runRecord{
+			Program: p.Name, Mode: "native",
+			Stop: res.Stop.String(), Cycles: res.Cycles, Steps: res.Steps,
+			Output: res.Output,
+		}
+		if *jsonOut != "" {
+			fatalIf(writeRunJSON(*jsonOut, &rec))
+		}
+		fatalIf(cli.Close())
 		exitFor(res.Stop)
 		return
 	}
 
-	d, err := core.NewDBT(p, core.Config{Technique: *tech, Style: *style, Policy: *policy})
+	cfg := core.Config{Technique: *tech, Style: *style, Policy: *policy, Trace: cli.Tracer()}
+	d, err := core.NewDBT(p, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,10 +94,52 @@ func main() {
 		*tech, *style, *policy, res.Stop, res.Cycles, res.Steps)
 	fmt.Printf("output: %v\n", res.Output)
 	st := res.Stats
-	fmt.Printf("translator: %d blocks (%d guest instrs), %d traces, %d dispatches, %d indirect lookups, cache %d instrs\n",
+	fmt.Printf("translator: %d blocks (%d guest instrs), %d traces, %d check sites, %d dispatches, %d indirect lookups, cache %d instrs\n",
 		st.BlocksTranslated, st.GuestInstrsTranslated, st.TracesFormed,
-		st.Dispatches, st.IndirectLookups, res.CacheSize)
+		st.CheckSites, st.Dispatches, st.IndirectLookups, res.CacheSize)
+
+	if reg := cli.Registry(); reg != nil {
+		res.Stats.Publish(reg, *tech)
+		reg.Gauge(fmt.Sprintf("dbt_code_cache_instrs{technique=%q}", *tech)).Max(int64(res.CacheSize))
+		reg.Counter(fmt.Sprintf("cpu_sig_checks_total{technique=%q}", *tech)).Add(res.SigChecks)
+	}
+	if *jsonOut != "" {
+		rec := runRecord{
+			Program: p.Name, Mode: "dbt",
+			Technique: *tech, Style: *style, Policy: *policy,
+			Stop: res.Stop.String(), Cycles: res.Cycles, Steps: res.Steps,
+			Output: res.Output, Translator: &res.Stats,
+			CacheInstrs: res.CacheSize, SigChecks: res.SigChecks,
+		}
+		fatalIf(writeRunJSON(*jsonOut, &rec))
+	}
+	fatalIf(cli.Close())
 	exitFor(res.Stop)
+}
+
+// runRecord is the schema of the -json output: one record per run, the
+// machine-readable counterpart of the text report.
+type runRecord struct {
+	Program     string     `json:"program"`
+	Mode        string     `json:"mode"` // "native" or "dbt"
+	Technique   string     `json:"technique,omitempty"`
+	Style       string     `json:"style,omitempty"`
+	Policy      string     `json:"policy,omitempty"`
+	Stop        string     `json:"stop"`
+	Cycles      uint64     `json:"cycles"`
+	Steps       uint64     `json:"steps"`
+	Output      []int32    `json:"output"`
+	Translator  *dbt.Stats `json:"translator,omitempty"`
+	CacheInstrs int        `json:"cache_instrs,omitempty"`
+	SigChecks   uint64     `json:"sig_checks,omitempty"`
+}
+
+func writeRunJSON(path string, rec *runRecord) error {
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func exitFor(stop cpu.Stop) {
@@ -91,4 +151,10 @@ func exitFor(stop cpu.Stop) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cfc-run:", err)
 	os.Exit(1)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
 }

@@ -13,18 +13,25 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
 	var scheme = flag.String("scheme", "", "verify one scheme (EdgCF|RCF|ECF|CFCSS|ECCA); default: all")
+	var cli obs.CLI
+	cli.BindFlags(flag.CommandLine)
 	flag.Parse()
+	if err := cli.Open(); err != nil {
+		fmt.Fprintln(os.Stderr, "cfc-verify:", err)
+		os.Exit(1)
+	}
 
 	names := []string{"EdgCF", "RCF", "ECF", "CFCSS", "ECCA"}
 	if *scheme != "" {
 		names = []string{*scheme}
 	}
 	for _, name := range names {
-		res, err := core.VerifyScheme(name)
+		res, err := core.VerifySchemeObs(name, cli.Tracer(), cli.Registry())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cfc-verify:", err)
 			os.Exit(1)
@@ -43,5 +50,9 @@ func main() {
 				fmt.Printf("    %s\n", ev)
 			}
 		}
+	}
+	if err := cli.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "cfc-verify:", err)
+		os.Exit(1)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/errmodel"
 	"repro/internal/inject"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/workloads"
 
@@ -314,6 +315,11 @@ type CoverageConfig struct {
 	// Workers shards each campaign's samples (0 = GOMAXPROCS); the matrix
 	// itself is identical for every worker count.
 	Workers int
+	// Metrics and Trace forward to every campaign (both may be nil). The
+	// registry ends up holding one labeled series set per technique,
+	// accumulated over the selected workloads.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 }
 
 // CoverageMatrix runs fault-injection campaigns for every technique
@@ -351,7 +357,7 @@ func CoverageMatrix(cfg CoverageConfig) ([]*inject.Report, error) {
 		for _, p := range progs {
 			r, err := inject.Campaign(p, inject.Config{
 				Technique: tech, Samples: cfg.Samples, Seed: cfg.Seed,
-				Workers: cfg.Workers,
+				Workers: cfg.Workers, Metrics: cfg.Metrics, Trace: cfg.Trace,
 			})
 			if err != nil {
 				return nil, err
@@ -370,6 +376,7 @@ func CoverageMatrix(cfg CoverageConfig) ([]*inject.Report, error) {
 			}
 			r, err := inject.StaticCampaign(ip, kind.String(), inject.Config{
 				Samples: cfg.Samples, Seed: cfg.Seed, Workers: cfg.Workers,
+				Metrics: cfg.Metrics, Trace: cfg.Trace,
 			})
 			if err != nil {
 				return nil, err
@@ -388,6 +395,7 @@ func mergeReports(dst, src *inject.Report) {
 	dst.LatencyN += src.LatencyN
 	dst.Elapsed += src.Elapsed
 	dst.Workers = src.Workers
+	dst.Translator.Add(src.Translator)
 	for c, a := range src.ByCat {
 		da := dst.ByCat[c]
 		if da == nil {

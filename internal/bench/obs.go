@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/inject"
+	"repro/internal/obs"
+)
+
+// Figure-level metrics. Slowdowns and overheads are dimensionless ratios;
+// the integer-valued gauge registry stores them in milli-units (1.234x ->
+// 1234), which keeps three decimal places — more precision than the
+// cycle-count measurements themselves carry. All publishers are nil-safe
+// so the figure generators' callers can pass the -metrics registry
+// unconditionally.
+
+// milli converts a ratio to integer milli-units for a gauge.
+func milli(x float64) int64 { return int64(math.Round(x * 1000)) }
+
+// PublishSlowdownTable records a per-benchmark slowdown table (Figures 12
+// and 15) as bench_slowdown_milli gauges plus per-suite geomeans.
+func PublishSlowdownTable(reg *obs.Registry, figure string, t *SlowdownTable) {
+	if reg == nil || t == nil {
+		return
+	}
+	for _, r := range t.Rows {
+		for ci, cfg := range t.Configs {
+			reg.Gauge(fmt.Sprintf("bench_slowdown_milli{figure=%q,benchmark=%q,config=%q}",
+				figure, r.Name, cfg)).Set(milli(r.Slowdown[ci]))
+		}
+	}
+	for ci, cfg := range t.Configs {
+		for _, g := range []struct {
+			suite string
+			val   float64
+		}{{"int", t.GeoInt[ci]}, {"fp", t.GeoFp[ci]}, {"all", t.GeoAll[ci]}} {
+			reg.Gauge(fmt.Sprintf("bench_slowdown_geomean_milli{figure=%q,config=%q,suite=%q}",
+				figure, cfg, g.suite)).Set(milli(g.val))
+		}
+	}
+}
+
+// PublishFigure14 records the update-style comparison geomeans.
+func PublishFigure14(reg *obs.Registry, t *Figure14Table) {
+	if reg == nil || t == nil {
+		return
+	}
+	for si, style := range t.Styles {
+		for ti, tech := range t.Techniques {
+			reg.Gauge(fmt.Sprintf("bench_slowdown_geomean_milli{figure=%q,config=%q,style=%q}",
+				"14", tech, style)).Set(milli(t.Slowdown[si][ti]))
+		}
+	}
+}
+
+// PublishBaseline records the uninstrumented translator's per-benchmark
+// overhead over native execution, and the geomean.
+func PublishBaseline(reg *obs.Registry, rows []BaselineRow, avg float64) {
+	if reg == nil {
+		return
+	}
+	for _, r := range rows {
+		reg.Gauge(fmt.Sprintf("bench_dbt_overhead_milli{benchmark=%q}", r.Name)).Set(milli(r.Overhead))
+	}
+	reg.Gauge(`bench_dbt_overhead_milli{benchmark="geomean"}`).Set(milli(avg))
+}
+
+// PublishAblations records each design-choice ablation's geomean slowdown.
+func PublishAblations(reg *obs.Registry, rows []AblationRow) {
+	if reg == nil {
+		return
+	}
+	for _, r := range rows {
+		reg.Gauge(fmt.Sprintf("bench_ablation_slowdown_milli{config=%q}", r.Name)).Set(milli(r.Slowdown))
+	}
+}
+
+// PublishCoverage records coverage percentages (milli-fractions: 0.987 ->
+// 987) for a set of merged campaign reports, keyed by technique — used by
+// the coverage matrix and the register-fault comparison.
+func PublishCoverage(reg *obs.Registry, figure string, reports []*inject.Report) {
+	if reg == nil {
+		return
+	}
+	for _, r := range reports {
+		reg.Gauge(fmt.Sprintf("bench_coverage_milli{figure=%q,technique=%q}",
+			figure, r.Technique)).Set(milli(r.Totals.Coverage()))
+	}
+}
+
+// PublishPolicyLatency records the policy trade-off rows: slowdown,
+// coverage and mean detection latency (whole instructions) per policy.
+func PublishPolicyLatency(reg *obs.Registry, rows []PolicyRow) {
+	if reg == nil {
+		return
+	}
+	for _, r := range rows {
+		pol := r.Policy.String()
+		reg.Gauge(fmt.Sprintf("bench_policy_slowdown_milli{policy=%q}", pol)).Set(milli(r.Slowdown))
+		reg.Gauge(fmt.Sprintf("bench_policy_coverage_milli{policy=%q}", pol)).Set(milli(r.Coverage))
+		reg.Gauge(fmt.Sprintf("bench_policy_latency_instructions{policy=%q}", pol)).Set(int64(math.Round(r.MeanLatency)))
+	}
+}

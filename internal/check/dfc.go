@@ -76,6 +76,7 @@ func (t *DFC) emitSync(e *dbt.Emitter, r isa.Reg) {
 	if !ok {
 		return
 	}
+	e.NoteCheck()
 	e.Emit(isa.Instr{Op: isa.OpXor3, RD: regSCR, RS1: r, RS2: s})
 	skip := e.JrzFwd(regSCR)
 	e.Report()

@@ -43,6 +43,7 @@ const BranchBias = int32(1) << 27
 // signature into it, jcxz over the report, restore ECX. Four executed
 // instructions per check, five emitted.
 func emitCheck(e *dbt.Emitter, expected isa.Reg, delta int32) {
+	e.NoteCheck()
 	e.Emit(isa.Instr{Op: isa.OpMovRR, RD: regSCR, RS1: isa.ECX}) // save CX
 	e.Lea(isa.ECX, expected, delta)                              // CX = PC' - L
 	ok := e.JrzFwd(isa.ECX)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/errmodel"
 	"repro/internal/inject"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/sig"
 	"repro/internal/workloads"
 
@@ -29,6 +30,12 @@ type Config struct {
 	Style string
 	// Policy: "ALLBB" (default), "RET-BE", "RET" or "END".
 	Policy string
+	// Trace, when non-nil, streams structured events from the translator,
+	// the machine and the injector (the CLIs' -trace flag).
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives campaign and translator metrics
+	// (the CLIs' -metrics flag).
+	Metrics *obs.Registry
 }
 
 // ParseStyle resolves an update-style name.
@@ -120,7 +127,7 @@ func NewDBT(p *isa.Program, c Config) (*dbt.DBT, error) {
 	if err != nil {
 		return nil, err
 	}
-	return dbt.New(p, dbt.Options{Technique: tech, Policy: pol}), nil
+	return dbt.New(p, dbt.Options{Technique: tech, Policy: pol, Trace: c.Trace}), nil
 }
 
 // RunDBT translates and executes p under the given configuration.
@@ -147,6 +154,7 @@ func Inject(p *isa.Program, c Config, samples int, seed int64, workers int) (*in
 	}
 	return inject.Campaign(p, inject.Config{
 		Technique: tech, Policy: pol, Samples: samples, Seed: seed, Workers: workers,
+		Metrics: c.Metrics, Trace: c.Trace,
 	})
 }
 
@@ -154,6 +162,13 @@ func Inject(p *isa.Program, c Config, samples int, seed int64, workers int) (*in
 // paper's sufficient and necessary conditions on a representative graph
 // (Section 4). Valid names: EdgCF, RCF, ECF, CFCSS, ECCA.
 func VerifyScheme(name string) (sig.Result, error) {
+	return VerifySchemeObs(name, nil, nil)
+}
+
+// VerifySchemeObs is VerifyScheme with observability: per-check-evaluation
+// events on tr and explored-state/check-verdict counters on reg (both may
+// be nil).
+func VerifySchemeObs(name string, tr *obs.Tracer, reg *obs.Registry) (sig.Result, error) {
 	g := &sig.Graph{Succs: [][]sig.BlockID{{1}, {2}, {1, 3}, {0, 4}, {}}}
 	var scheme sig.Scheme
 	switch strings.ToLower(name) {
@@ -170,5 +185,5 @@ func VerifyScheme(name string) (sig.Result, error) {
 	default:
 		return sig.Result{}, fmt.Errorf("unknown scheme %q", name)
 	}
-	return sig.Verify(g, scheme), nil
+	return sig.VerifyObs(g, scheme, tr, reg), nil
 }

@@ -108,6 +108,19 @@ const (
 	FaultRegBit
 )
 
+// String names the fault kind (used in trace events and reports).
+func (k FaultKind) String() string {
+	switch k {
+	case FaultOffsetBit:
+		return "offset-bit"
+	case FaultFlagBit:
+		return "flag-bit"
+	case FaultRegBit:
+		return "reg-bit"
+	}
+	return "?"
+}
+
 // Fault is a single planned transient fault. Branch faults (offset/flag
 // bits) fire when the dynamic direct-branch counter reaches BranchIndex;
 // register faults fire when the step counter reaches StepIndex.
@@ -156,6 +169,12 @@ type Machine struct {
 	// IndirectBranches counts executed indirect transfers (ret, jmpr,
 	// callr), which the error model excludes, as in the paper.
 	IndirectBranches uint64
+	// SigChecks counts executed signature-check branches (OpJrz). Under
+	// the DBT this is exact — guest jrz terminators are rewritten to
+	// compare-and-Jcc, so every jrz in the code cache belongs to a check
+	// sequence — and approximate for native runs of guest code that uses
+	// jrz itself.
+	SigChecks uint64
 
 	// Output is the observable output stream (OpOut); silent data
 	// corruption is detected by comparing streams between runs.
@@ -186,6 +205,7 @@ func (m *Machine) Reset(p *isa.Program) {
 	m.Steps = 0
 	m.DirectBranches = 0
 	m.IndirectBranches = 0
+	m.SigChecks = 0
 	m.Output = m.Output[:0]
 }
 
@@ -408,6 +428,9 @@ func (m *Machine) Step(codeSlice []isa.Instr) (Stop, bool) {
 func (m *Machine) directBranch(ip uint32, in isa.Instr) uint32 {
 	idx := m.DirectBranches
 	m.DirectBranches++
+	if in.Op == isa.OpJrz {
+		m.SigChecks++
+	}
 
 	imm := in.Imm
 	faulted := false

@@ -1,0 +1,29 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// TraceRunOutcome emits the machine-level events of one completed run:
+// fault-fired (reconstructed from the Fault's recorded firing point) and
+// check-fail (a run that stopped at OpReport). Emission happens after the
+// run rather than inside Step so the interpreter's hot loop carries no
+// tracing code — with tracing disabled the machine is byte-for-byte the
+// uninstrumented interpreter.
+func TraceRunOutcome(tr *obs.Tracer, m *Machine, stop Stop) {
+	if tr == nil {
+		return
+	}
+	if f := m.Fault; f != nil && f.Fired {
+		detail := fmt.Sprintf("%s bit %d", f.Kind, f.Bit)
+		if f.Kind == FaultRegBit {
+			detail = fmt.Sprintf("reg-bit r%d bit %d", f.Reg, f.Bit)
+		}
+		tr.Emit(obs.Event{Kind: obs.EvFaultFired, Step: f.FiredStep, Addr: f.FaultIP, Detail: detail})
+	}
+	if stop.Reason == StopReport {
+		tr.Emit(obs.Event{Kind: obs.EvCheckFail, Step: m.Steps, Addr: stop.IP})
+	}
+}

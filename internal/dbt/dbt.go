@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // Options configures a DBT instance.
@@ -25,6 +26,11 @@ type Options struct {
 	Costs *cpu.CostModel
 	// Body, when non-nil, rewrites block bodies (data-flow checking).
 	Body BodyTransform
+	// Trace, when non-nil, receives structured translator events (block
+	// translated, stub dispatched, chain patched, trace formed, cache
+	// invalidated, check sites) plus the machine's fault/check events.
+	// The nil fast path costs one branch per instrumented site.
+	Trace *obs.Tracer
 }
 
 const defaultTraceThreshold = 16
@@ -63,6 +69,50 @@ type Stats struct {
 	Dispatches            uint64
 	IndirectLookups       uint64
 	Invalidations         int
+	// CheckSites counts emitted signature-check sequences (technique
+	// instrumentation sites, not executions).
+	CheckSites int
+}
+
+// Add accumulates o into s (campaign reports sum per-sample deltas).
+func (s *Stats) Add(o Stats) {
+	s.BlocksTranslated += o.BlocksTranslated
+	s.GuestInstrsTranslated += o.GuestInstrsTranslated
+	s.TracesFormed += o.TracesFormed
+	s.Dispatches += o.Dispatches
+	s.IndirectLookups += o.IndirectLookups
+	s.Invalidations += o.Invalidations
+	s.CheckSites += o.CheckSites
+}
+
+// Sub returns s minus base: the activity that happened after base was
+// captured (e.g. one sample's work on a snapshot clone).
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		BlocksTranslated:      s.BlocksTranslated - base.BlocksTranslated,
+		GuestInstrsTranslated: s.GuestInstrsTranslated - base.GuestInstrsTranslated,
+		TracesFormed:          s.TracesFormed - base.TracesFormed,
+		Dispatches:            s.Dispatches - base.Dispatches,
+		IndirectLookups:       s.IndirectLookups - base.IndirectLookups,
+		Invalidations:         s.Invalidations - base.Invalidations,
+		CheckSites:            s.CheckSites - base.CheckSites,
+	}
+}
+
+// Publish adds the stats as counters to reg (nil-safe), labeled with the
+// technique name.
+func (s Stats) Publish(reg *obs.Registry, technique string) {
+	if reg == nil {
+		return
+	}
+	l := fmt.Sprintf("{technique=%q}", technique)
+	reg.Counter("dbt_blocks_translated_total" + l).Add(uint64(s.BlocksTranslated))
+	reg.Counter("dbt_guest_instrs_translated_total" + l).Add(s.GuestInstrsTranslated)
+	reg.Counter("dbt_traces_formed_total" + l).Add(uint64(s.TracesFormed))
+	reg.Counter("dbt_dispatches_total" + l).Add(s.Dispatches)
+	reg.Counter("dbt_indirect_lookups_total" + l).Add(s.IndirectLookups)
+	reg.Counter("dbt_invalidations_total" + l).Add(uint64(s.Invalidations))
+	reg.Counter("dbt_check_sites_total" + l).Add(uint64(s.CheckSites))
 }
 
 // Result describes one completed execution under the DBT.
@@ -78,6 +128,8 @@ type Result struct {
 	// CacheSize is the code cache size in instructions at the end of the
 	// run.
 	CacheSize int
+	// SigChecks counts executed signature-check branches during the run.
+	SigChecks uint64
 }
 
 // Detected reports whether the run ended with an error detection, either
@@ -190,6 +242,12 @@ func (d *DBT) Run(fault *cpu.Fault, maxSteps uint64) *Result {
 		m.Cycles += uint64(d.opts.Costs.DispatchCost)
 		d.stats.Dispatches++
 		s.count++
+		if d.opts.Trace != nil {
+			d.opts.Trace.Emit(obs.Event{
+				Kind: obs.EvStubDispatch, Step: m.Steps,
+				Guest: s.guest, Addr: s.slot, Value: int64(s.count),
+			})
+		}
 		tb, err := d.ensure(s.guest)
 		if err != nil {
 			return d.result(m, cpu.Stop{Reason: cpu.StopBadFetch, IP: stop.IP, Detail: err.Error()})
@@ -216,12 +274,19 @@ func (d *DBT) Run(fault *cpu.Fault, maxSteps uint64) *Result {
 				d.cache[s.referrer].Imm = isa.OffsetFor(s.referrer, tb.CacheStart)
 			}
 			s.chained = true
+			if d.opts.Trace != nil {
+				d.opts.Trace.Emit(obs.Event{
+					Kind: obs.EvChainPatch, Step: m.Steps,
+					Guest: s.guest, Addr: s.slot,
+				})
+			}
 		}
 		m.IP = tb.CacheStart
 	}
 }
 
 func (d *DBT) result(m *cpu.Machine, stop cpu.Stop) *Result {
+	cpu.TraceRunOutcome(d.opts.Trace, m, stop)
 	st := d.stats
 	return &Result{
 		Stop:           stop,
@@ -231,6 +296,7 @@ func (d *DBT) result(m *cpu.Machine, stop cpu.Stop) *Result {
 		Stats:          st,
 		DirectBranches: m.DirectBranches,
 		CacheSize:      len(d.cache),
+		SigChecks:      m.SigChecks,
 	}
 }
 
@@ -328,6 +394,12 @@ func (d *DBT) translate(guest uint32) *TBlock {
 	tb.CacheEnd = uint32(len(d.cache))
 	d.stats.BlocksTranslated++
 	d.stats.GuestInstrsTranslated += uint64(end - guest)
+	if d.opts.Trace != nil {
+		d.opts.Trace.Emit(obs.Event{
+			Kind: obs.EvBlockTranslated, Guest: guest,
+			Addr: tb.CacheStart, Len: tb.CacheEnd - tb.CacheStart, Checked: tb.Checked,
+		})
+	}
 	// Translation cost accrues into a pending pool; the run loop charges it
 	// to the machine at the dispatch that triggered translation.
 	d.pendingCycles += uint64(d.opts.Costs.TranslateUnit) * uint64(tb.CacheEnd-tb.CacheStart)
@@ -401,6 +473,7 @@ func (d *DBT) Locate(cacheAddr uint32) (*TBlock, bool) {
 // protection); this implementation models the recovery with a full flush,
 // after which execution naturally retranslates on demand.
 func (d *DBT) Invalidate() {
+	d.opts.Trace.Emit(obs.Event{Kind: obs.EvCacheInvalidate, Value: int64(len(d.cache))})
 	d.cache = nil
 	d.blocks = make(map[uint32]*TBlock)
 	d.tlist = nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // Emitter appends translated instructions to the code cache on behalf of
@@ -83,6 +84,17 @@ func (e *Emitter) Lea3(rd, rs1, rs2 isa.Reg, imm int32) {
 
 // Report emits the error-report instruction (software detection point).
 func (e *Emitter) Report() { e.Emit(isa.Instr{Op: isa.OpReport}) }
+
+// NoteCheck records that the technique emitted one signature-check
+// sequence starting at the current PC: it feeds the per-technique
+// check-site counter and the optional event trace. Techniques call it
+// once per emitted check.
+func (e *Emitter) NoteCheck() {
+	e.d.stats.CheckSites++
+	if e.d.opts.Trace != nil {
+		e.d.opts.Trace.Emit(obs.Event{Kind: obs.EvCheckSite, Addr: e.PC()})
+	}
+}
 
 // PushGuestReturn pushes the guest return address for a translated call.
 // The guest stack must hold guest addresses (transparency: the original

@@ -49,6 +49,11 @@ func (d *DBT) Snapshot() *Snapshot {
 // CacheLen returns the snapshot's code cache size in instructions.
 func (s *Snapshot) CacheLen() int { return len(s.cache) }
 
+// Stats returns the translator statistics captured with the snapshot —
+// the baseline a clone's final stats are diffed against to recover one
+// sample's own translation work.
+func (s *Snapshot) Stats() Stats { return s.stats }
+
 // NewDBT returns a fresh translator primed with a private copy of the
 // snapshot state: warm runs on it skip translation exactly as on the
 // snapshotted instance, and any mutation (chaining under a faulty run, new

@@ -1,0 +1,86 @@
+package inject
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+	"repro/internal/errmodel"
+)
+
+// TestClassifyCategory drives classifyCategory through every branch-error
+// category of the paper's Figure 1 (A-F), the NoError cases, and the Data
+// label for register faults, using real code-cache geometry from a
+// translated program.
+func TestClassifyCategory(t *testing.T) {
+	p := mustAssemble(t, workload)
+	d := dbt.New(p, dbt.Options{})
+	if res := d.Run(nil, 10_000_000); res.Stop.Reason != cpu.StopHalt {
+		t.Fatalf("clean run: %v", res.Stop)
+	}
+
+	// Find two distinct multi-instruction translated blocks to aim at.
+	var blocks []*dbt.TBlock
+	for addr := uint32(0); addr < uint32(d.CacheLen()); addr++ {
+		tb, ok := d.Locate(addr)
+		if !ok || tb.CacheEnd-tb.CacheStart < 2 {
+			continue
+		}
+		if len(blocks) == 0 || blocks[len(blocks)-1] != tb {
+			blocks = append(blocks, tb)
+		}
+		if len(blocks) == 2 {
+			break
+		}
+	}
+	if len(blocks) < 2 {
+		t.Fatalf("found %d usable blocks, need 2", len(blocks))
+	}
+	same, other := blocks[0], blocks[1]
+	wild := uint32(d.CacheLen()) + 1000 // outside every translated block
+
+	cases := []struct {
+		name string
+		f    cpu.Fault
+		want errmodel.Category
+	}{
+		{"flag flip changes direction", cpu.Fault{
+			Kind: cpu.FaultFlagBit, CleanTaken: true, FaultTaken: false,
+		}, errmodel.CatA},
+		{"flag flip keeps direction", cpu.Fault{
+			Kind: cpu.FaultFlagBit, CleanTaken: true, FaultTaken: true,
+		}, errmodel.CatNoError},
+		{"offset flip on not-taken branch", cpu.Fault{
+			Kind: cpu.FaultOffsetBit, CleanTaken: false,
+		}, errmodel.CatNoError},
+		{"same block, beginning", cpu.Fault{
+			Kind: cpu.FaultOffsetBit, CleanTaken: true,
+			FaultIP: same.CacheStart + 1, FaultTarget: same.CacheStart,
+		}, errmodel.CatB},
+		{"same block, middle", cpu.Fault{
+			Kind: cpu.FaultOffsetBit, CleanTaken: true,
+			FaultIP: same.CacheStart, FaultTarget: same.CacheStart + 1,
+		}, errmodel.CatC},
+		{"other block, beginning", cpu.Fault{
+			Kind: cpu.FaultOffsetBit, CleanTaken: true,
+			FaultIP: same.CacheStart, FaultTarget: other.CacheStart,
+		}, errmodel.CatD},
+		{"other block, middle", cpu.Fault{
+			Kind: cpu.FaultOffsetBit, CleanTaken: true,
+			FaultIP: same.CacheStart, FaultTarget: other.CacheStart + 1,
+		}, errmodel.CatE},
+		{"non-code target", cpu.Fault{
+			Kind: cpu.FaultOffsetBit, CleanTaken: true,
+			FaultIP: same.CacheStart, FaultTarget: wild,
+		}, errmodel.CatF},
+		{"register bit", cpu.Fault{
+			Kind: cpu.FaultRegBit,
+		}, errmodel.CatData},
+	}
+	for _, c := range cases {
+		f := c.f
+		if got := classifyCategory(d, &f); got != c.want {
+			t.Errorf("%s: category = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

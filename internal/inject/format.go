@@ -32,6 +32,12 @@ func FormatReport(r *Report) string {
 	if r.LatencyN > 0 {
 		fmt.Fprintf(&b, "mean detection latency: %.0f instructions\n", r.MeanLatency())
 	}
+	st := r.Translator
+	if st.BlocksTranslated > 0 {
+		fmt.Fprintf(&b, "translator: %d blocks (%d guest instrs), %d traces, %d check sites, %d dispatches, %d indirect lookups\n",
+			st.BlocksTranslated, st.GuestInstrsTranslated, st.TracesFormed,
+			st.CheckSites, st.Dispatches, st.IndirectLookups)
+	}
 	if r.Elapsed > 0 {
 		fmt.Fprintf(&b, "throughput: %.0f runs/s (%d workers, %v wall-clock)\n",
 			r.Throughput(), r.Workers, r.Elapsed.Round(time.Millisecond))

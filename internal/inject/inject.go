@@ -14,6 +14,7 @@ import (
 	"repro/internal/dbt"
 	"repro/internal/errmodel"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -104,6 +105,11 @@ type Report struct {
 	// Records holds the individual runs when Config.KeepRecords is set,
 	// in sample order.
 	Records []Record
+	// Translator aggregates the translation work of the whole campaign:
+	// the warm-up runs plus every sample clone's own work (wild-target
+	// translations, re-chaining). Like the outcome counts it is a pure
+	// function of (program, cfg minus Workers).
+	Translator dbt.Stats
 	// Workers is the resolved worker count that ran the campaign and
 	// Elapsed the wall-clock of the injection phase (warm-up excluded).
 	// Neither influences the classified results.
@@ -151,6 +157,18 @@ type Config struct {
 	// sample derives its fault from (Seed, index) and runs on a private
 	// clone of the warmed translator.
 	Workers int
+	// Metrics, when non-nil, receives campaign metrics: outcome counters,
+	// per-category detection-latency histograms, translator counters and
+	// code-cache occupancy. Samples observe into per-worker collector
+	// shards merged with commutative folds, so the exported snapshot is
+	// bit-identical for every Workers value.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives structured events (campaign
+	// start/end, fault fired, check failed, error detected, plus the
+	// translator events of every sample clone). Events from concurrent
+	// samples interleave in completion order; only metrics are
+	// deterministic across worker counts.
+	Trace *obs.Tracer
 }
 
 // deriveFault builds sample index's fault as a pure function of the
@@ -187,6 +205,9 @@ func deriveBranchFault(rng *sampleRNG, branches uint64) *cpu.Fault {
 type sampleResult struct {
 	fired bool
 	rec   Record
+	// stats is the clone's own translation work: its final stats minus
+	// the snapshot baseline.
+	stats dbt.Stats
 }
 
 // merge folds per-sample results into the report in index order, so the
@@ -194,6 +215,7 @@ type sampleResult struct {
 func (r *Report) merge(results []sampleResult, keepRecords bool) {
 	for i := range results {
 		s := &results[i]
+		r.Translator.Add(s.stats)
 		if !s.fired {
 			r.NotFired++
 			continue
@@ -237,6 +259,7 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 		Policy:         cfg.Policy,
 		TraceThreshold: cfg.TraceThreshold,
 		Body:           cfg.Body,
+		Trace:          cfg.Trace,
 	})
 
 	// Warm the cache until the dynamic branch count stabilizes: chaining
@@ -276,15 +299,23 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 		Workers:   par.Workers(cfg.Workers, cfg.Samples),
 	}
 	snap := d.Snapshot()
+	base := snap.Stats()
+	rep.Translator = base // warm-up work; merge adds per-sample deltas
 	steps := clean.Steps
 
+	cfg.Trace.Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: p.Name + "/" + tech})
+	shards := newShards(cfg.Metrics, rep.Workers)
 	results := make([]sampleResult, cfg.Samples)
 	start := time.Now()
-	par.ForEach(cfg.Samples, rep.Workers, func(i int) error {
+	par.ForEachShard(cfg.Samples, rep.Workers, func(w, i int) error {
 		f := deriveFault(&cfg, i, branches, steps)
 		sd := snap.NewDBT()
 		res := sd.Run(f, cfg.MaxSteps)
+		results[i].stats = res.Stats.Sub(base)
 		if !f.Fired {
+			if shards != nil {
+				observeNotFired(shards[w], tech)
+			}
 			return nil
 		}
 		rec := Record{
@@ -295,12 +326,29 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 		}
 		if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
 			rec.Latency = res.Steps - f.FiredStep
+			if cfg.Trace != nil {
+				cfg.Trace.Emit(obs.Event{
+					Kind: obs.EvErrorDetected, Sample: obs.SampleRef(i),
+					Value:  int64(rec.Latency),
+					Detail: rec.Outcome.String() + "/" + rec.Category.String(),
+				})
+			}
 		}
-		results[i] = sampleResult{fired: true, rec: rec}
+		if shards != nil {
+			observeSample(shards[w], tech, &rec, res.SigChecks, res.CacheSize)
+		}
+		results[i].fired = true
+		results[i].rec = rec
 		return nil
 	})
 	rep.Elapsed = time.Since(start)
 	rep.merge(results, cfg.KeepRecords)
+	flushShards(shards, cfg.Metrics)
+	if cfg.Metrics != nil {
+		rep.Translator.Publish(cfg.Metrics, tech)
+		cfg.Metrics.Gauge(seriesName("dbt_code_cache_instrs", tech)).Max(int64(snap.CacheLen()))
+	}
+	cfg.Trace.Emit(obs.Event{Kind: obs.EvCampaignEnd, Value: int64(cfg.Samples), Detail: p.Name + "/" + tech})
 	return rep, nil
 }
 

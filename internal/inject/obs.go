@@ -1,0 +1,72 @@
+package inject
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Campaign metrics. Series are labeled by technique so CoverageMatrix
+// campaigns publish into one registry without colliding; campaigns of
+// the same technique (e.g. over several programs) accumulate, matching
+// bench.mergeReports semantics. All per-sample observations go through
+// per-worker collector shards and commutative merges, so the registry
+// contents are identical for every worker count.
+
+// seriesName renders `base{technique="T"}`.
+func seriesName(base, technique string) string {
+	return fmt.Sprintf("%s{technique=%q}", base, technique)
+}
+
+// newShards allocates one collector per worker, or nil when metrics are
+// disabled.
+func newShards(reg *obs.Registry, workers int) []*obs.Collector {
+	if reg == nil {
+		return nil
+	}
+	shards := make([]*obs.Collector, workers)
+	for i := range shards {
+		shards[i] = obs.NewCollector()
+	}
+	return shards
+}
+
+// flushShards folds the shards in index order and publishes the result.
+// The fold is commutative, so the outcome does not depend on which
+// worker observed which sample.
+func flushShards(shards []*obs.Collector, reg *obs.Registry) {
+	if shards == nil {
+		return
+	}
+	merged := obs.NewCollector()
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	merged.FlushTo(reg)
+}
+
+// observeNotFired records a sample whose planted fault never fired.
+func observeNotFired(c *obs.Collector, technique string) {
+	c.Add(seriesName("inject_samples_total", technique), 1)
+	c.Add(seriesName("inject_not_fired_total", technique), 1)
+}
+
+// observeSample folds one classified sample into a worker's shard:
+// outcome counters per category, detection-latency histograms (overall
+// and per category), executed signature checks and peak code-cache
+// occupancy.
+func observeSample(c *obs.Collector, technique string, rec *Record, sigChecks uint64, cacheSize int) {
+	c.Add(seriesName("inject_samples_total", technique), 1)
+	c.Add(fmt.Sprintf("inject_outcomes_total{technique=%q,category=%q,outcome=%q}",
+		technique, rec.Category.String(), rec.Outcome.String()), 1)
+	c.Add(seriesName("cpu_sig_checks_total", technique), sigChecks)
+	if cacheSize > 0 {
+		c.Max(seriesName("dbt_code_cache_instrs", technique), int64(cacheSize))
+	}
+	if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
+		c.Observe(seriesName("inject_detection_latency_instructions", technique),
+			obs.DefaultLatencyBuckets, rec.Latency)
+		c.Observe(fmt.Sprintf("inject_detection_latency_instructions{technique=%q,category=%q}",
+			technique, rec.Category.String()), obs.DefaultLatencyBuckets, rec.Latency)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/errmodel"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -48,16 +49,22 @@ func StaticCampaign(p *isa.Program, label string, cfgn Config) (*Report, error) 
 		ByCat:     map[errmodel.Category]*Agg{},
 		Workers:   par.Workers(cfgn.Workers, cfgn.Samples),
 	}
+	cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: p.Name + "/" + label})
+	shards := newShards(cfgn.Metrics, rep.Workers)
 	results := make([]sampleResult, cfgn.Samples)
 	start := time.Now()
-	par.ForEach(cfgn.Samples, rep.Workers, func(i int) error {
+	par.ForEachShard(cfgn.Samples, rep.Workers, func(w, i int) error {
 		rng := newSampleRNG(cfgn.Seed, i)
 		f := deriveBranchFault(&rng, branches)
 		m := cpu.New()
 		m.Reset(p)
 		m.Fault = f
 		stop := m.Run(p.Code, cfgn.MaxSteps)
+		cpu.TraceRunOutcome(cfgn.Trace, m, stop)
 		if !f.Fired {
+			if shards != nil {
+				observeNotFired(shards[w], label)
+			}
 			return nil
 		}
 		rec := Record{
@@ -68,12 +75,22 @@ func StaticCampaign(p *isa.Program, label string, cfgn Config) (*Report, error) 
 		}
 		if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
 			rec.Latency = m.Steps - f.FiredStep
+			cfgn.Trace.Emit(obs.Event{
+				Kind: obs.EvErrorDetected, Sample: obs.SampleRef(i),
+				Value:  int64(rec.Latency),
+				Detail: rec.Outcome.String() + "/" + rec.Category.String(),
+			})
+		}
+		if shards != nil {
+			observeSample(shards[w], label, &rec, m.SigChecks, 0)
 		}
 		results[i] = sampleResult{fired: true, rec: rec}
 		return nil
 	})
 	rep.Elapsed = time.Since(start)
 	rep.merge(results, cfgn.KeepRecords)
+	flushShards(shards, cfgn.Metrics)
+	cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignEnd, Value: int64(cfgn.Samples), Detail: p.Name + "/" + label})
 	return rep, nil
 }
 

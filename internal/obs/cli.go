@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// CLI binds the shared observability flags every cmd/ tool exposes:
+//
+//	-trace FILE    write a JSONL event trace
+//	-metrics FILE  write a metrics snapshot (.prom selects the
+//	               Prometheus text format; anything else JSON)
+//
+// Usage: call BindFlags before flag.Parse, Open after it, and Close on
+// the way out. Tracer and Registry return nil when the corresponding
+// flag was not given, so instrumented code pays only the nil fast path.
+type CLI struct {
+	TracePath   string
+	MetricsPath string
+
+	tracer   *Tracer
+	registry *Registry
+}
+
+// BindFlags registers -trace and -metrics on fs.
+func (c *CLI) BindFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.TracePath, "trace", "", "write a JSONL event trace to `file`")
+	fs.StringVar(&c.MetricsPath, "metrics", "", "write a metrics snapshot to `file` (.prom = Prometheus text, else JSON)")
+}
+
+// Open materializes the tracer and registry selected by the parsed
+// flags.
+func (c *CLI) Open() error {
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			return fmt.Errorf("open trace: %w", err)
+		}
+		c.tracer = NewTracer(f)
+	}
+	if c.MetricsPath != "" {
+		c.registry = NewRegistry()
+	}
+	return nil
+}
+
+// Tracer returns the event tracer, or nil when -trace was not given.
+func (c *CLI) Tracer() *Tracer { return c.tracer }
+
+// Registry returns the metrics registry, or nil when -metrics was not
+// given.
+func (c *CLI) Registry() *Registry { return c.registry }
+
+// Close writes the metrics snapshot and flushes the trace stream.
+func (c *CLI) Close() error {
+	var first error
+	if c.tracer != nil {
+		if err := c.tracer.Close(); err != nil && first == nil {
+			first = fmt.Errorf("trace: %w", err)
+		}
+	}
+	if c.registry != nil {
+		f, err := os.Create(c.MetricsPath)
+		if err != nil {
+			return firstErr(first, fmt.Errorf("open metrics: %w", err))
+		}
+		snap := c.registry.Snapshot()
+		if strings.HasSuffix(c.MetricsPath, ".prom") {
+			err = snap.WritePrometheus(f)
+		} else {
+			err = snap.WriteJSON(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		first = firstErr(first, err)
+	}
+	return first
+}
+
+func firstErr(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// HistSnapshot is the exported form of one histogram: inclusive upper
+// bounds, per-bucket counts (one extra trailing count for +Inf), the sum
+// of observed values and the total observation count.
+type HistSnapshot struct {
+	Bounds []uint64 `json:"le"`
+	Counts []uint64 `json:"counts"`
+	Sum    uint64   `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry or collector. Equal
+// metric states serialize to byte-identical output: encoding/json sorts
+// map keys, and the Prometheus writer sorts series names itself.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		hs := HistSnapshot{
+			Bounds: append([]uint64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.sum.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+			hs.Count += hs.Counts[i]
+		}
+		s.Histograms[n] = hs
+	}
+	return s
+}
+
+// Snapshot copies the collector's current state.
+func (c *Collector) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if c == nil {
+		return s
+	}
+	for n, v := range c.counters {
+		s.Counters[n] = v
+	}
+	for n, v := range c.gauges {
+		s.Gauges[n] = v
+	}
+	for n, h := range c.hists {
+		hs := HistSnapshot{
+			Bounds: append([]uint64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Sum:    h.sum,
+		}
+		for _, ct := range h.counts {
+			hs.Count += ct
+		}
+		s.Histograms[n] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (deterministic: map
+// keys are sorted by the encoder).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}
+
+// splitSeries separates `base{labels}` into base and the inner label
+// list (without braces); labels is empty for plain names.
+func splitSeries(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// joinLabels renders a label set, appending extra (e.g. `le="8"`) to any
+// labels already embedded in the series name.
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format, series sorted by name. Histograms expand into cumulative
+// `_bucket` series with `le` labels plus `_sum` and `_count`.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, n := range sortedKeys(s.Counters) {
+		base, labels := splitSeries(n)
+		fmt.Fprintf(&b, "%s%s %d\n", base, joinLabels(labels, ""), s.Counters[n])
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		base, labels := splitSeries(n)
+		fmt.Fprintf(&b, "%s%s %d\n", base, joinLabels(labels, ""), s.Gauges[n])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := s.Histograms[n]
+		base, labels := splitSeries(n)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, joinLabels(labels, fmt.Sprintf("le=%q", fmt.Sprint(bound))), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", base, joinLabels(labels, `le="+Inf"`), cum)
+		fmt.Fprintf(&b, "%s_sum%s %d\n", base, joinLabels(labels, ""), h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, joinLabels(labels, ""), cum)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

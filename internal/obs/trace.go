@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one structured trace record. Kind is always set; the other
+// fields are populated per kind (see the Ev* constants) and zero-valued
+// fields are omitted from the JSONL encoding, so consumers must treat an
+// absent field as zero.
+type Event struct {
+	Seq     uint64 `json:"seq"`
+	Kind    string `json:"kind"`
+	Sample  *int   `json:"sample,omitempty"`
+	Step    uint64 `json:"step,omitempty"`
+	Guest   uint32 `json:"guest,omitempty"`
+	Addr    uint32 `json:"addr,omitempty"`
+	Len     uint32 `json:"len,omitempty"`
+	Value   int64  `json:"value,omitempty"`
+	Checked bool   `json:"checked,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// SampleRef returns a pointer suitable for Event.Sample (sample indices
+// start at 0, so the field cannot rely on omitempty's zero test).
+func SampleRef(i int) *int { return &i }
+
+// Tracer writes events as one JSON object per line. All methods are safe
+// on a nil receiver — the disabled fast path costs a single branch — and
+// safe for concurrent use: events from parallel workers interleave in
+// arrival order, each with a unique ascending Seq.
+type Tracer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+	seq uint64
+	err error
+}
+
+// NewTracer wraps w in a buffered JSONL event stream. If w is also an
+// io.Closer, Close closes it.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	t := &Tracer{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Emit writes one event, assigning its sequence number. The first write
+// error is retained (see Err); later events are dropped.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	ev.Seq = t.seq
+	t.err = t.enc.Encode(ev)
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes the stream and closes the underlying writer when it is
+// closable.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ferr := t.w.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	if t.c != nil {
+		if cerr := t.c.Close(); t.err == nil {
+			t.err = cerr
+		}
+		t.c = nil
+	}
+	return t.err
+}

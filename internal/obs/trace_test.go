@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EvFaultFired})
+	if err := tr.Err(); err != nil {
+		t.Errorf("nil Err = %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+}
+
+func TestTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(Event{Kind: EvBlockTranslated, Guest: 4, Addr: 16, Len: 3, Checked: true})
+	tr.Emit(Event{Kind: EvErrorDetected, Sample: SampleRef(0), Value: 12, Detail: "detected-sw/A"})
+	tr.Emit(Event{Kind: EvCampaignEnd})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(events))
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d Seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if e := events[0]; e.Kind != EvBlockTranslated || e.Guest != 4 || e.Addr != 16 || e.Len != 3 || !e.Checked {
+		t.Errorf("event 0 = %+v", e)
+	}
+	// Sample 0 is a valid index and must survive the round trip (hence
+	// the pointer field: omitempty would drop a plain zero int).
+	if e := events[1]; e.Sample == nil || *e.Sample != 0 || e.Value != 12 || e.Detail != "detected-sw/A" {
+		t.Errorf("event 1 = %+v", e)
+	}
+}
+
+// TestTracerConcurrentSeq: concurrent emitters get unique ascending
+// sequence numbers and whole, uninterleaved lines.
+func TestTracerConcurrentSeq(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	const n = 100
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Emit(Event{Kind: EvStubDispatch})
+		}()
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d events, want %d", len(seen), n)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errors.New("disk full")
+}
+
+func TestTracerRetainsFirstError(t *testing.T) {
+	fw := &failWriter{}
+	tr := NewTracer(fw)
+	// Overflow the 64K buffer so the underlying write fails.
+	big := Event{Kind: EvCheckSite, Detail: strings.Repeat("x", 1<<17)}
+	tr.Emit(big)
+	tr.Emit(big)
+	if tr.Err() == nil {
+		t.Fatal("expected a retained write error")
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close should surface the retained error")
+	}
+}

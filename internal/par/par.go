@@ -33,13 +33,23 @@ func Workers(n, jobs int) int {
 // scheduling. With one worker the jobs run inline on the calling
 // goroutine in index order.
 func ForEach(jobs, workers int, fn func(i int) error) error {
+	return ForEachShard(jobs, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachShard is ForEach with the worker's pool index exposed:
+// fn(worker, i) with worker in [0, Workers(workers, jobs)). A worker
+// index is owned by exactly one goroutine, so fn may accumulate into
+// per-worker shards (e.g. obs.Collector) without synchronization. Which
+// jobs land on which shard depends on scheduling; shard contents are
+// only deterministic once merged with a commutative fold.
+func ForEachShard(jobs, workers int, fn func(worker, i int) error) error {
 	if jobs <= 0 {
 		return nil
 	}
 	workers = Workers(workers, jobs)
 	if workers == 1 {
 		for i := 0; i < jobs; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -51,16 +61,16 @@ func ForEach(jobs, workers int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
 				if i >= jobs {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -1,6 +1,10 @@
 package sig
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Result reports whether a scheme satisfies the paper's correctness
 // conditions on a given graph.
@@ -30,12 +34,21 @@ type Result struct {
 // exploration memoizes on (node, state), so it terminates for any scheme
 // whose state space is finite on the given graph.
 func Verify(g *Graph, sch Scheme) Result {
+	return VerifyObs(g, sch, nil, nil)
+}
+
+// VerifyObs is Verify with observability: every CHECK_SIG the model
+// checker evaluates emits a check-pass/check-fail event to tr, and the
+// exploration totals (states explored, checks evaluated, the verdict)
+// are published to reg, labeled by scheme. Both may be nil.
+func VerifyObs(g *Graph, sch Scheme, tr *obs.Tracer, reg *obs.Registry) Result {
 	if err := g.Validate(); err != nil {
 		panic(fmt.Sprintf("sig.Verify: %v", err))
 	}
 	v := &verifier{
 		sg:         Split(g),
 		sch:        sch,
+		tr:         tr,
 		cleanSeen:  map[cleanKey]bool{},
 		escapeMemo: map[escKey]escVal{},
 	}
@@ -43,7 +56,22 @@ func Verify(g *Graph, sch Scheme) Result {
 	v.res = &res
 	v.exploreClean(v.sg.Entry, sch.Init(v.sg), []string{fmt.Sprintf("enter %s", v.nodeName(v.sg.Entry))})
 	res.StatesExplored = len(v.cleanSeen) + len(v.escapeMemo)
+	if reg != nil {
+		l := fmt.Sprintf("{scheme=%q}", sch.Name())
+		reg.Counter("sig_states_explored_total" + l).Add(uint64(res.StatesExplored))
+		reg.Counter("sig_checks_passed_total" + l).Add(v.checksPassed)
+		reg.Counter("sig_checks_failed_total" + l).Add(v.checksFailed)
+		reg.Gauge("sig_sufficient" + l).Set(boolGauge(res.Sufficient))
+		reg.Gauge("sig_necessary" + l).Set(boolGauge(res.Necessary))
+	}
 	return res
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 type cleanKey struct {
@@ -71,9 +99,26 @@ type verifier struct {
 	sg         *SplitGraph
 	sch        Scheme
 	res        *Result
+	tr         *obs.Tracer
 	cleanSeen  map[cleanKey]bool
 	escapeMemo map[escKey]escVal
 	escStack   map[escKey]bool
+
+	checksPassed uint64
+	checksFailed uint64
+}
+
+// noteCheck records one CHECK_SIG evaluation at node n (called only for
+// nodes that carry an entry check).
+func (v *verifier) noteCheck(n int, pass bool) {
+	kind := obs.EvCheckPass
+	if pass {
+		v.checksPassed++
+	} else {
+		v.checksFailed++
+		kind = obs.EvCheckFail
+	}
+	v.tr.Emit(obs.Event{Kind: kind, Detail: v.nodeName(n)})
 }
 
 func (v *verifier) nodeName(n int) string {
@@ -95,6 +140,9 @@ func (v *verifier) exploreClean(n int, s State, path []string) {
 	v.cleanSeen[key] = true
 
 	st, ok := v.sch.Enter(v.sg, s, n)
+	if v.sch.HasEntryCheck(v.sg, n) {
+		v.noteCheck(n, ok)
+	}
 	if !ok {
 		if v.res.Necessary {
 			v.res.Necessary = false
@@ -168,6 +216,9 @@ func (v *verifier) escapes(n int, s State, runEnter bool) escVal {
 		ranCheck = v.sch.HasEntryCheck(v.sg, n)
 		var ok bool
 		st, ok = v.sch.Enter(v.sg, s, n)
+		if ranCheck {
+			v.noteCheck(n, ok)
+		}
 		if !ok {
 			val := escVal{escapes: false}
 			v.escapeMemo[key] = val
