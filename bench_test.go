@@ -138,7 +138,7 @@ func BenchmarkAblations(b *testing.B) {
 // data-flow checking transform (the paper's future work) targets.
 func BenchmarkDataFlowCoverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reports, err := bench.DataFlowCoverage(0.04, 120, 1, 0)
+		reports, err := bench.DataFlowCoverage(0.04, 120, 1, 0, -1)
 		if err != nil {
 			b.Fatal(err)
 		}

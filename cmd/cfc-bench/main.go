@@ -28,6 +28,8 @@ func main() {
 		fig     = flag.String("fig", "all", "which figure: 12|14|15|dbt|all")
 		scale   = flag.Float64("scale", 1.0, "workload dynamic scale")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		ckptIv  = flag.Int64("ckpt-interval", -1,
+			"campaign checkpoint interval in steps (-1 auto, 0 full replay)")
 	)
 	var cli obs.CLI
 	cli.BindFlags(flag.CommandLine)
@@ -67,12 +69,12 @@ func main() {
 			fmt.Print(bench.FormatAblations(rows))
 			bench.PublishAblations(reg, rows)
 		case "dfc":
-			reports, err := bench.DataFlowCoverage(minF(*scale, 0.1), 300, 1, *workers)
+			reports, err := bench.DataFlowCoverage(minF(*scale, 0.1), 300, 1, *workers, *ckptIv)
 			fatalIf(err)
 			fmt.Print(bench.FormatDataFlowCoverage(reports))
 			bench.PublishCoverage(reg, "dfc", reports)
 		case "latency":
-			rows, err := bench.PolicyLatency(minF(*scale, 0.3), 300, 1, *workers)
+			rows, err := bench.PolicyLatency(minF(*scale, 0.3), 300, 1, *workers, *ckptIv)
 			fatalIf(err)
 			fmt.Print(bench.FormatPolicyLatency(rows))
 			bench.PublishPolicyLatency(reg, rows)

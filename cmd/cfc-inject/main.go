@@ -9,6 +9,14 @@
 // report is bit-identical for every worker count. -json additionally runs
 // the campaign at one worker and at the requested count, checks the two
 // reports agree, and writes a throughput record suitable for CI.
+//
+// -ckpt-interval selects the injection engine: 0 replays every sample from
+// the start (the original engine), -1 (the default) checkpoints the clean
+// run at an auto-sized step interval and resumes each sample from the
+// nearest checkpoint, and a positive value sets the interval explicitly.
+// Reports are byte-identical across all settings. -ckpt-json times both
+// engines at one and four workers, verifies the reports match byte for
+// byte, and writes the speedup record suitable for CI.
 package main
 
 import (
@@ -39,6 +47,10 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		matrix   = flag.Bool("matrix", false, "run the full coverage matrix instead")
 		jsonOut  = flag.String("json", "", "write a throughput benchmark record to this file")
+		ckptIv   = flag.Int64("ckpt-interval", -1,
+			"checkpoint interval in steps (-1 auto, 0 full replay)")
+		ckptOut = flag.String("ckpt-json", "",
+			"write a checkpoint-vs-replay engine benchmark record to this file")
 	)
 	var cli obs.CLI
 	cli.BindFlags(flag.CommandLine)
@@ -47,12 +59,13 @@ func main() {
 
 	if *matrix {
 		reports, err := bench.CoverageMatrix(bench.CoverageConfig{
-			Scale:   *scale,
-			Samples: *samples,
-			Seed:    *seed,
-			Workers: *workers,
-			Metrics: cli.Registry(),
-			Trace:   cli.Tracer(),
+			Scale:        *scale,
+			Samples:      *samples,
+			Seed:         *seed,
+			Workers:      *workers,
+			Metrics:      cli.Registry(),
+			Trace:        cli.Tracer(),
+			CkptInterval: *ckptIv,
 		})
 		fatalIf(err)
 		fmt.Print(bench.FormatCoverageMatrix(reports))
@@ -62,12 +75,15 @@ func main() {
 
 	p, err := core.Workload(*workload, *scale)
 	fatalIf(err)
-	cfg := core.Config{Technique: *tech, Style: *style, Policy: *policy}
+	cfg := core.Config{Technique: *tech, Style: *style, Policy: *policy, CkptInterval: *ckptIv}
 
 	if *jsonOut != "" {
 		// The determinism-check runs stay unobserved so the snapshot and
 		// trace describe exactly one campaign: the reported one below.
 		fatalIf(writeBenchJSON(*jsonOut, p, cfg, *samples, *seed, *workers))
+	}
+	if *ckptOut != "" {
+		fatalIf(writeCkptJSON(*ckptOut, p, cfg, *samples, *seed))
 	}
 
 	cfg.Metrics, cfg.Trace = cli.Registry(), cli.Tracer()
@@ -139,6 +155,93 @@ func writeBenchJSON(path string, p *isa.Program, cfg core.Config, samples int, s
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// ckptRecord is the schema of the -ckpt-json output: both engines timed
+// at each worker count, with the byte-identity verdict.
+type ckptRecord struct {
+	Workload     string    `json:"workload"`
+	Technique    string    `json:"technique"`
+	Samples      int       `json:"samples"`
+	Seed         int64     `json:"seed"`
+	CkptInterval int64     `json:"ckpt_interval"`
+	GOMAXPROCS   int       `json:"gomaxprocs"`
+	NumCPU       int       `json:"num_cpu"`
+	Runs         []ckptRun `json:"runs"`
+	// Speedup is the single-worker engine comparison: replay wall-clock
+	// over checkpoint wall-clock, parallel scaling factored out.
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+type ckptRun struct {
+	Workers   int     `json:"workers"`
+	ReplaySec float64 `json:"replay_sec"`
+	CkptSec   float64 `json:"ckpt_sec"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+// writeCkptJSON runs the same campaign under the full-replay engine and
+// the checkpoint-and-resume engine at one and four workers, verifies the
+// classified reports are byte-identical, and records the wall-clock
+// speedup the checkpoint engine delivers.
+func writeCkptJSON(path string, p *isa.Program, cfg core.Config, samples int, seed int64) error {
+	iv := cfg.CkptInterval
+	if iv == 0 {
+		iv = -1
+	}
+	rec := ckptRecord{
+		Workload:     p.Name,
+		Technique:    cfg.Technique,
+		Samples:      samples,
+		Seed:         seed,
+		CkptInterval: iv,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Identical:    true,
+	}
+	for _, w := range []int{1, 4} {
+		rcfg := cfg
+		rcfg.CkptInterval = 0
+		replay, err := core.Inject(p, rcfg, samples, seed, w)
+		if err != nil {
+			return err
+		}
+		ccfg := cfg
+		ccfg.CkptInterval = iv
+		ck, err := core.Inject(p, ccfg, samples, seed, w)
+		if err != nil {
+			return err
+		}
+		run := ckptRun{
+			Workers:   w,
+			ReplaySec: replay.Elapsed.Seconds(),
+			CkptSec:   ck.Elapsed.Seconds(),
+			Identical: sameReport(replay, ck) && formatNormalized(replay) == formatNormalized(ck),
+		}
+		if ck.Elapsed > 0 {
+			run.Speedup = replay.Elapsed.Seconds() / ck.Elapsed.Seconds()
+		}
+		if w == 1 {
+			rec.Speedup = run.Speedup
+		}
+		rec.Identical = rec.Identical && run.Identical
+		rec.Runs = append(rec.Runs, run)
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// formatNormalized renders a report with the legitimately varying fields
+// (wall clock, worker count) zeroed, for byte-for-byte comparison.
+func formatNormalized(r *inject.Report) string {
+	k := *r
+	k.Workers, k.Elapsed = 0, 0
+	return inject.FormatReport(&k)
 }
 
 // sameReport compares everything a campaign classifies — including the

@@ -114,8 +114,9 @@ func FormatAblations(rows []AblationRow) string {
 
 // DataFlowCoverage runs register-bit fault campaigns (the data errors the
 // paper's future-work data-flow checking targets) under increasing
-// protection. workers shards each campaign's samples.
-func DataFlowCoverage(scale float64, samples int, seed int64, workers int) ([]*inject.Report, error) {
+// protection. workers shards each campaign's samples; ckptInterval
+// selects the campaign engine (0 replay, -1 auto checkpointing).
+func DataFlowCoverage(scale float64, samples int, seed int64, workers int, ckptInterval int64) ([]*inject.Report, error) {
 	names := []string{"164.gzip", "183.equake"}
 	type cfg struct {
 		label string
@@ -143,6 +144,7 @@ func DataFlowCoverage(scale float64, samples int, seed int64, workers int) ([]*i
 			rep, err := inject.Campaign(p, inject.Config{
 				Technique: c.tech, Body: c.body, RegFaults: true,
 				Samples: samples, Seed: seed, Workers: workers,
+				CkptInterval: ckptInterval,
 				// Data faults can wreck the stack pointer and livelock;
 				// a tight budget keeps hang detection cheap.
 				MaxSteps: 4_000_000,

@@ -47,7 +47,7 @@ func TestAblationsShape(t *testing.T) {
 }
 
 func TestDataFlowCoverageShape(t *testing.T) {
-	reports, err := DataFlowCoverage(0.04, 150, 11, 2)
+	reports, err := DataFlowCoverage(0.04, 150, 11, 2, -1)
 	if err != nil {
 		t.Fatal(err)
 	}

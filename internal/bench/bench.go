@@ -320,6 +320,10 @@ type CoverageConfig struct {
 	// accumulated over the selected workloads.
 	Metrics *obs.Registry
 	Trace   *obs.Tracer
+	// CkptInterval forwards to every campaign: 0 full replay, -1
+	// checkpoint-and-resume with an auto-sized interval, >0 an explicit
+	// interval in steps. The matrix is byte-identical either way.
+	CkptInterval int64
 }
 
 // CoverageMatrix runs fault-injection campaigns for every technique
@@ -358,6 +362,7 @@ func CoverageMatrix(cfg CoverageConfig) ([]*inject.Report, error) {
 			r, err := inject.Campaign(p, inject.Config{
 				Technique: tech, Samples: cfg.Samples, Seed: cfg.Seed,
 				Workers: cfg.Workers, Metrics: cfg.Metrics, Trace: cfg.Trace,
+				CkptInterval: cfg.CkptInterval,
 			})
 			if err != nil {
 				return nil, err
@@ -377,6 +382,7 @@ func CoverageMatrix(cfg CoverageConfig) ([]*inject.Report, error) {
 			r, err := inject.StaticCampaign(ip, kind.String(), inject.Config{
 				Samples: cfg.Samples, Seed: cfg.Seed, Workers: cfg.Workers,
 				Metrics: cfg.Metrics, Trace: cfg.Trace,
+				CkptInterval: cfg.CkptInterval,
 			})
 			if err != nil {
 				return nil, err

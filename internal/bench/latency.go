@@ -26,8 +26,10 @@ type PolicyRow struct {
 
 // PolicyLatency measures RCF under all four policies: slowdown over the
 // whole suite, coverage/latency from injection campaigns on a workload
-// subset. workers fans the per-benchmark runs and shards the campaigns.
-func PolicyLatency(scale float64, samples int, seed int64, workers int) ([]PolicyRow, error) {
+// subset. workers fans the per-benchmark runs and shards the campaigns;
+// ckptInterval selects the campaign engine (0 replay, -1 auto-sized
+// checkpointing, >0 explicit interval) without changing any number.
+func PolicyLatency(scale float64, samples int, seed int64, workers int, ckptInterval int64) ([]PolicyRow, error) {
 	campaignLoads := []string{"164.gzip", "183.equake"}
 	var rows []PolicyRow
 	for _, pol := range dbt.Policies() {
@@ -71,12 +73,13 @@ func PolicyLatency(scale float64, samples int, seed int64, workers int) ([]Polic
 				return nil, err
 			}
 			rep, err := inject.Campaign(p, inject.Config{
-				Technique: &check.RCF{Style: dbt.UpdateCmov},
-				Policy:    pol,
-				Samples:   samples,
-				Seed:      seed,
-				MaxSteps:  20_000_000,
-				Workers:   workers,
+				Technique:    &check.RCF{Style: dbt.UpdateCmov},
+				Policy:       pol,
+				Samples:      samples,
+				Seed:         seed,
+				MaxSteps:     20_000_000,
+				Workers:      workers,
+				CkptInterval: ckptInterval,
 			})
 			if err != nil {
 				return nil, err

@@ -8,7 +8,7 @@ import (
 )
 
 func TestPolicyLatencyShape(t *testing.T) {
-	rows, err := PolicyLatency(0.1, 120, 21, 2)
+	rows, err := PolicyLatency(0.1, 120, 21, 2, -1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,255 @@
+// Package ckpt implements checkpoint-and-resume acceleration for fault
+// injection campaigns. One instrumented clean reference run records
+// periodic machine checkpoints — architectural state, counters, output
+// length and a dirty-page memory delta — and every subsequent faulty run
+// restores the nearest checkpoint at or before its fault site instead of
+// re-executing the shared prefix. A campaign of N samples over a clean run
+// of S steps drops from O(N·S) to O(N·interval + S) while reproducing the
+// full-replay results bit for bit: a restored machine is exactly the
+// machine that executed the whole prefix.
+//
+// Checkpoints under the DBT are only valid while the reference run leaves
+// the shared translator state untouched. On a fully warmed snapshot the
+// only translator activity a clean run performs is indirect-branch lookup
+// servicing (a counter, no cache mutation); any structural activity —
+// dispatches, translations, trace formation, invalidation — means the
+// reference run's cache diverged from the pristine clones faulty samples
+// start from, so recording stops capturing points at that instant and the
+// points captured earlier remain valid (graceful degradation down to
+// "checkpoint 0 only", which is plain replay).
+package ckpt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Page is one dirty memory page captured at a checkpoint: the words of
+// tracking page Index at capture time.
+type Page struct {
+	Index uint32
+	Words []int32
+}
+
+// Point is one checkpoint: everything needed to rebuild the machine at a
+// step boundary of the clean reference run.
+type Point struct {
+	// State is the architectural and counter state at the boundary.
+	State cpu.State
+	// OutLen is how many words of the reference output stream had been
+	// emitted by the boundary.
+	OutLen int
+	// Prefix is the translator work the reference run accumulated from its
+	// start to this point (a delta over the snapshot baseline): a resumed
+	// clone credits it so its final stats equal a full replay's.
+	Prefix dbt.Stats
+	// Pages holds the memory pages written since the previous point, in
+	// ascending page order. Rebuilding memory at point k applies the page
+	// deltas of points 0..k onto a zero image.
+	Pages []Page
+}
+
+// Log is the recorded checkpoint stream of one clean reference run, plus
+// the run's final result — the reference against which faulty outcomes are
+// classified and from which provably clean tails are synthesized.
+type Log struct {
+	// Interval is the capture spacing in machine steps.
+	Interval uint64
+	// MemWords is the machine's memory size in words.
+	MemWords uint32
+	// Output is the complete reference output stream.
+	Output []int32
+	// Points are the checkpoints in capture (ascending step) order. Index 0
+	// is the run's start boundary and always exists.
+	Points []Point
+	// Truncated reports that recording stopped capturing points early
+	// because the reference run mutated shared translator state; the points
+	// present are still valid.
+	Truncated bool
+	// Stop is how the reference run ended.
+	Stop cpu.Stop
+	// Final is the machine state when the reference run stopped.
+	Final cpu.State
+	// FinalPrefix is the translator-work delta of the whole reference run.
+	FinalPrefix dbt.Stats
+	// CacheSize is the code cache size (instructions) at the end of the
+	// reference run (zero for native recordings).
+	CacheSize int
+	// Bytes approximates the memory footprint of the recorded checkpoint
+	// data (states plus page deltas).
+	Bytes uint64
+}
+
+// Complete reports whether the reference run ran to a normal halt, which
+// the clean-tail short circuit requires.
+func (l *Log) Complete() bool { return l.Stop.Reason == cpu.StopHalt }
+
+// pointBytes approximates the in-memory size of one checkpoint.
+func pointBytes(pt *Point) uint64 {
+	b := uint64(len(pt.Pages)) * 16 // headers
+	for i := range pt.Pages {
+		b += uint64(len(pt.Pages[i].Words)) * 4
+	}
+	return b + uint64(isa.NumRegs+8)*8
+}
+
+// capture appends the machine's current boundary state as a new point.
+func (l *Log) capture(m *cpu.Machine, prefix dbt.Stats) {
+	pt := Point{State: m.CaptureState(), OutLen: len(m.Output), Prefix: prefix}
+	m.Mem.CaptureDirty(func(page uint32, words []int32) {
+		pt.Pages = append(pt.Pages, Page{Index: page, Words: append([]int32(nil), words...)})
+	})
+	l.Bytes += pointBytes(&pt)
+	l.Points = append(l.Points, pt)
+}
+
+// finish seals the log with the reference run's terminal result.
+func (l *Log) finish(m *cpu.Machine, stop cpu.Stop, prefix dbt.Stats, cacheSize int) {
+	l.Stop = stop
+	l.Final = m.CaptureState()
+	l.FinalPrefix = prefix
+	l.CacheSize = cacheSize
+	l.Output = append([]int32(nil), m.Output...)
+	l.MemWords = m.Mem.Size()
+}
+
+// Record performs the instrumented clean reference run on a private clone
+// of snap, capturing a checkpoint every interval steps. It returns the log
+// even when the run does not halt (Stop records how it ended); callers
+// decide whether that is an error.
+func Record(snap *dbt.Snapshot, interval, maxSteps uint64) (*Log, error) {
+	if interval == 0 {
+		return nil, fmt.Errorf("ckpt: interval must be positive")
+	}
+	d := snap.NewDBT()
+	base := snap.Stats()
+	m, res := d.Start(nil)
+	if res != nil {
+		return nil, fmt.Errorf("ckpt: reference run failed to start: %v", res.Stop)
+	}
+	l := &Log{Interval: interval}
+	// Point 0: the run's start boundary (memory untouched, so the capture
+	// takes no pages — the replayer's zero image is the start image).
+	l.capture(m, d.StatsSnapshot().Sub(base))
+	for {
+		target := m.Steps + interval
+		if target > maxSteps {
+			target = maxSteps
+		}
+		stop := d.Advance(m, target)
+		prefix := d.StatsSnapshot().Sub(base)
+		if stop.Reason != cpu.StopOutOfSteps || target >= maxSteps {
+			// Terminal: halt, detection, trap — or the real budget ran out.
+			l.finish(m, stop, prefix, d.CacheLen())
+			return l, nil
+		}
+		if l.Truncated {
+			continue
+		}
+		if prefix.Structural() {
+			// The run warmed the translator further; clones would not share
+			// this cache state, so later boundaries are not restorable.
+			l.Truncated = true
+			continue
+		}
+		l.capture(m, prefix)
+	}
+}
+
+// RecordStatic performs the clean reference run for native (no translator)
+// execution of p, capturing a checkpoint every interval steps. Native runs
+// share no translator state, so recording never truncates.
+func RecordStatic(p *isa.Program, interval, maxSteps uint64) (*Log, error) {
+	if interval == 0 {
+		return nil, fmt.Errorf("ckpt: interval must be positive")
+	}
+	m := cpu.New()
+	m.Reset(p)
+	l := &Log{Interval: interval}
+	l.capture(m, dbt.Stats{})
+	for {
+		target := m.Steps + interval
+		if target > maxSteps {
+			target = maxSteps
+		}
+		stop := m.Run(p.Code, target)
+		if stop.Reason != cpu.StopOutOfSteps || target >= maxSteps {
+			l.finish(m, stop, dbt.Stats{}, 0)
+			return l, nil
+		}
+		l.capture(m, dbt.Stats{})
+	}
+}
+
+// PointAtBranch returns the index of the last point whose direct-branch
+// counter has not yet passed branchIndex: restoring there replays the
+// branch that the fault strikes. The counter is nondecreasing across
+// points, so this is a binary search.
+func (l *Log) PointAtBranch(branchIndex uint64) int {
+	return l.lastAtOrBefore(func(pt *Point) uint64 { return pt.State.DirectBranches }, branchIndex)
+}
+
+// PointAtStep returns the index of the last point at or before machine
+// step stepIndex (the restore point for step-indexed register faults).
+func (l *Log) PointAtStep(stepIndex uint64) int {
+	return l.lastAtOrBefore(func(pt *Point) uint64 { return pt.State.Steps }, stepIndex)
+}
+
+// lastAtOrBefore finds the greatest k with key(points[k]) <= limit. Point
+// 0 always qualifies: both counters start at zero.
+func (l *Log) lastAtOrBefore(key func(*Point) uint64, limit uint64) int {
+	k := sort.Search(len(l.Points), func(i int) bool { return key(&l.Points[i]) > limit })
+	if k == 0 {
+		return 0
+	}
+	return k - 1
+}
+
+// Replayer materializes machines at checkpoints of one log. It keeps a
+// working memory image and applies page deltas incrementally, so a worker
+// that visits points in ascending order pays each delta once; seeking
+// backwards rebuilds from the zero image. A Replayer is not safe for
+// concurrent use — campaigns give each worker its own.
+type Replayer struct {
+	log *Log
+	img []int32
+	cur int // last applied point index; -1 = zero image
+}
+
+// NewReplayer returns a replayer over the log with a zeroed image.
+func (l *Log) NewReplayer() *Replayer {
+	return &Replayer{log: l, img: make([]int32, l.MemWords), cur: -1}
+}
+
+// seek brings the image to checkpoint k's memory state.
+func (r *Replayer) seek(k int) {
+	if k < r.cur {
+		clear(r.img)
+		r.cur = -1
+	}
+	for ; r.cur < k; r.cur++ {
+		for _, pg := range r.log.Points[r.cur+1].Pages {
+			lo := int(pg.Index) << mem.PageShift
+			copy(r.img[lo:lo+len(pg.Words)], pg.Words)
+		}
+	}
+}
+
+// Machine returns a fresh machine restored to checkpoint k: architectural
+// state and counters from the point, memory copied from the incrementally
+// rebuilt image, output primed with the reference prefix. The caller
+// plants the fault and (for DBT runs) resumes a translator clone on it.
+func (r *Replayer) Machine(k int) *cpu.Machine {
+	r.seek(k)
+	pt := &r.log.Points[k]
+	m := cpu.New()
+	m.RestoreFrom(pt.State)
+	m.Mem = mem.NewFrom(r.img)
+	m.Output = append([]int32(nil), r.log.Output[:pt.OutLen]...)
+	return m
+}

@@ -36,6 +36,12 @@ type Config struct {
 	// Metrics, when non-nil, receives campaign and translator metrics
 	// (the CLIs' -metrics flag).
 	Metrics *obs.Registry
+	// CkptInterval selects the injection engine: 0 replays every sample
+	// from the start, -1 checkpoints the clean run at an auto-sized step
+	// interval and resumes each sample from the nearest checkpoint, and a
+	// positive value sets that interval explicitly. Reports are
+	// byte-identical across all settings (the CLIs' -ckpt-interval flag).
+	CkptInterval int64
 }
 
 // ParseStyle resolves an update-style name.
@@ -154,7 +160,7 @@ func Inject(p *isa.Program, c Config, samples int, seed int64, workers int) (*in
 	}
 	return inject.Campaign(p, inject.Config{
 		Technique: tech, Policy: pol, Samples: samples, Seed: seed, Workers: workers,
-		Metrics: c.Metrics, Trace: c.Trace,
+		Metrics: c.Metrics, Trace: c.Trace, CkptInterval: c.CkptInterval,
 	})
 }
 

@@ -249,10 +249,6 @@ func (m *Machine) Step(codeSlice []isa.Instr) (Stop, bool) {
 	m.Steps++
 	m.Cycles += uint64(m.Costs.Of(in.Op))
 
-	if !in.Op.Valid() {
-		return Stop{Reason: StopInvalidInstr, IP: ip, Detail: fmt.Sprintf("opcode %d", uint8(in.Op))}, true
-	}
-
 	r := &m.Regs
 	next := ip + 1
 
@@ -417,6 +413,14 @@ func (m *Machine) Step(codeSlice []isa.Instr) (Stop, bool) {
 		}
 	case isa.OpOut:
 		m.Output = append(m.Output, r[in.RS1])
+
+	default:
+		// Undecodable opcode. Folding validity into the dispatch switch
+		// (rather than a per-step Op.Valid() pre-check) makes decode free
+		// for valid instructions: translated code-cache contents are
+		// validated once at emission time, and guest binaries that do
+		// carry junk opcodes still trap here exactly as before.
+		return Stop{Reason: StopInvalidInstr, IP: ip, Detail: fmt.Sprintf("opcode %d", uint8(in.Op))}, true
 	}
 
 	m.IP = next
@@ -439,7 +443,7 @@ func (m *Machine) directBranch(ip uint32, in isa.Instr) uint32 {
 		f.FiredStep = m.Steps
 		f.FaultIP = ip
 		f.FaultInstr = in
-		f.CleanTaken = m.evalTaken(in)
+		f.CleanTaken = m.evalTakenWith(in)
 		f.CleanTarget = ip + 1 + uint32(imm)
 		switch f.Kind {
 		case FaultOffsetBit:
@@ -466,10 +470,9 @@ func (m *Machine) directBranch(ip uint32, in isa.Instr) uint32 {
 	return ip + 1
 }
 
-// evalTaken evaluates whether the branch would be taken under current flags
-// and registers (pre-fault; used to record the clean direction).
-func (m *Machine) evalTaken(in isa.Instr) bool { return m.evalTakenWith(in) }
-
+// evalTakenWith evaluates whether the branch is taken under the current
+// flags and registers (called both pre-fault, to record the clean
+// direction, and post-fault, to resolve the actual one).
 func (m *Machine) evalTakenWith(in isa.Instr) bool {
 	switch in.Op {
 	case isa.OpJmp, isa.OpCall:

@@ -1,0 +1,50 @@
+package cpu
+
+import "repro/internal/isa"
+
+// State is a copyable snapshot of the machine's architectural and counter
+// state: everything Reset initializes except the memory image and the
+// output stream, which the checkpoint layer captures separately (memory as
+// dirty-page deltas, output as a prefix length into the reference run's
+// stream). Capturing and restoring a State at the same step boundary of a
+// deterministic execution is exact: a restored machine is bit-for-bit the
+// machine that executed the whole prefix.
+type State struct {
+	Regs             [isa.NumRegs]int32
+	Flags            isa.Flags
+	IP               uint32
+	Cycles           uint64
+	Steps            uint64
+	DirectBranches   uint64
+	IndirectBranches uint64
+	SigChecks        uint64
+}
+
+// CaptureState copies the machine's architectural and counter state.
+func (m *Machine) CaptureState() State {
+	return State{
+		Regs:             m.Regs,
+		Flags:            m.Flags,
+		IP:               m.IP,
+		Cycles:           m.Cycles,
+		Steps:            m.Steps,
+		DirectBranches:   m.DirectBranches,
+		IndirectBranches: m.IndirectBranches,
+		SigChecks:        m.SigChecks,
+	}
+}
+
+// RestoreFrom loads a captured state into the machine. Memory, output and
+// the planted fault are left untouched — the caller installs those (the
+// checkpoint replayer materializes memory from page deltas and the output
+// prefix from the reference stream).
+func (m *Machine) RestoreFrom(st State) {
+	m.Regs = st.Regs
+	m.Flags = st.Flags
+	m.IP = st.IP
+	m.Cycles = st.Cycles
+	m.Steps = st.Steps
+	m.DirectBranches = st.DirectBranches
+	m.IndirectBranches = st.IndirectBranches
+	m.SigChecks = st.SigChecks
+}

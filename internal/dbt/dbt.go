@@ -99,6 +99,18 @@ func (s Stats) Sub(base Stats) Stats {
 	}
 }
 
+// Structural reports whether the stats record translator activity that
+// mutates shared state — translations, trace formation, dispatch (stub
+// counters, chain patches) or invalidations. Indirect-branch lookups are
+// excluded: they are pure counter traffic that every execution performs
+// identically, leaving the cache byte-for-byte intact. The checkpoint
+// engine uses this to decide whether a clean run's boundaries are
+// restorable into pristine snapshot clones.
+func (s Stats) Structural() bool {
+	s.IndirectLookups = 0
+	return s != Stats{}
+}
+
 // Publish adds the stats as counters to reg (nil-safe), labeled with the
 // technique name.
 func (s Stats) Publish(reg *obs.Registry, technique string) {
@@ -148,8 +160,15 @@ type DBT struct {
 
 	cache  []isa.Instr
 	blocks map[uint32]*TBlock // guest start -> current preferred translation
-	tlist  []*TBlock          // cache order
-	stubs  []stub
+	// snapBlocks is the read-only block map shared with the Snapshot this
+	// DBT was primed from. Clones start with a nil owned map and resolve
+	// lookups against the shared one; the first structural change (a new
+	// translation, a trace, an invalidation) materializes a private copy.
+	// Most fault-injection samples never translate a block, so the lazy
+	// map removes a per-clone O(blocks) copy from the campaign hot path.
+	snapBlocks map[uint32]*TBlock
+	tlist      []*TBlock // cache order
+	stubs      []stub
 
 	// pendingCycles accrues translation cost until the next time the
 	// machine is available to charge it.
@@ -191,6 +210,20 @@ func (d *DBT) CacheLen() int { return len(d.cache) }
 // non-nil, plants a single transient fault (see cpu.Fault). maxSteps bounds
 // execution (a control-flow error can loop forever).
 func (d *DBT) Run(fault *cpu.Fault, maxSteps uint64) *Result {
+	m, res := d.Start(fault)
+	if res != nil {
+		return res
+	}
+	return d.Finish(m, d.Advance(m, maxSteps))
+}
+
+// Start prepares a machine for a run under the translator: reset, entry
+// translation, the pending-translation cycle charge, and the technique
+// prologue. It returns the machine positioned at the translated entry, or
+// a non-nil Result when the program cannot even start (unmappable entry).
+// Run is Start + Advance + Finish; the checkpoint recorder drives the
+// pieces separately so it can interleave captures at step boundaries.
+func (d *DBT) Start(fault *cpu.Fault) (*cpu.Machine, *Result) {
 	m := cpu.New()
 	m.Costs = d.opts.Costs
 	m.Reset(d.prog)
@@ -198,7 +231,7 @@ func (d *DBT) Run(fault *cpu.Fault, maxSteps uint64) *Result {
 
 	entry, err := d.ensure(d.prog.Entry)
 	if err != nil {
-		return d.result(m, cpu.Stop{Reason: cpu.StopBadFetch, Detail: err.Error()})
+		return nil, d.result(m, cpu.Stop{Reason: cpu.StopBadFetch, Detail: err.Error()})
 	}
 	m.Cycles += d.pendingCycles
 	d.pendingCycles = 0
@@ -213,11 +246,32 @@ func (d *DBT) Run(fault *cpu.Fault, maxSteps uint64) *Result {
 		}
 	}
 	m.IP = entry.CacheStart
+	return m, nil
+}
 
+// Resume primes a machine that was restored from a checkpoint to continue
+// under this translator: the cost model is attached, the skipped prefix's
+// translator work (stats accumulated by the reference run up to the
+// checkpoint) is credited, and any pending translation charge is dropped —
+// the restored machine's cycle counter already includes it, exactly as a
+// full replay would have charged it at Start.
+func (d *DBT) Resume(m *cpu.Machine, prefix Stats) {
+	m.Costs = d.opts.Costs
+	d.stats.Add(prefix)
+	d.pendingCycles = 0
+}
+
+// Advance executes translated code on m until a terminal stop or until the
+// absolute step budget maxSteps is exhausted, servicing dispatch and
+// indirect-lookup traps along the way. A StopOutOfSteps return leaves the
+// machine at a clean instruction boundary; calling Advance again with a
+// larger budget continues the run exactly where it left off (the
+// checkpoint recorder uses this to pause at capture points).
+func (d *DBT) Advance(m *cpu.Machine, maxSteps uint64) cpu.Stop {
 	for {
 		stop := m.Run(d.cache, maxSteps)
 		if stop.Reason != cpu.StopTrapOut {
-			return d.result(m, stop)
+			return stop
 		}
 		in := d.cache[stop.IP]
 		if in.Imm == indirectStub {
@@ -230,7 +284,7 @@ func (d *DBT) Run(fault *cpu.Fault, maxSteps uint64) *Result {
 			if err != nil {
 				// The "address" is not executable guest code: hardware
 				// protection catches the stray transfer.
-				return d.result(m, cpu.Stop{Reason: cpu.StopBadFetch, IP: stop.IP, Detail: err.Error()})
+				return cpu.Stop{Reason: cpu.StopBadFetch, IP: stop.IP, Detail: err.Error()}
 			}
 			m.Cycles += d.pendingCycles
 			d.pendingCycles = 0
@@ -250,7 +304,7 @@ func (d *DBT) Run(fault *cpu.Fault, maxSteps uint64) *Result {
 		}
 		tb, err := d.ensure(s.guest)
 		if err != nil {
-			return d.result(m, cpu.Stop{Reason: cpu.StopBadFetch, IP: stop.IP, Detail: err.Error()})
+			return cpu.Stop{Reason: cpu.StopBadFetch, IP: stop.IP, Detail: err.Error()}
 		}
 		// Back-edge stubs are the frontend's profiling points: they keep
 		// dispatching (counting) until the hot threshold fires the trace
@@ -285,6 +339,12 @@ func (d *DBT) Run(fault *cpu.Fault, maxSteps uint64) *Result {
 	}
 }
 
+// Finish packages a completed execution into a Result and emits the
+// post-run machine events (fault fired, check failed).
+func (d *DBT) Finish(m *cpu.Machine, stop cpu.Stop) *Result {
+	return d.result(m, stop)
+}
+
 func (d *DBT) result(m *cpu.Machine, stop cpu.Stop) *Result {
 	cpu.TraceRunOutcome(d.opts.Trace, m, stop)
 	st := d.stats
@@ -300,10 +360,34 @@ func (d *DBT) result(m *cpu.Machine, stop cpu.Stop) *Result {
 	}
 }
 
+// lookupBlock resolves a guest address against the owned block map, falling
+// back to the shared snapshot map when the clone has not yet been
+// materialized (see snapBlocks).
+func (d *DBT) lookupBlock(guest uint32) (*TBlock, bool) {
+	if tb, ok := d.blocks[guest]; ok {
+		return tb, true
+	}
+	tb, ok := d.snapBlocks[guest]
+	return tb, ok
+}
+
+// setBlock records a (re)translation, materializing a private copy of the
+// shared snapshot map on the first structural change.
+func (d *DBT) setBlock(guest uint32, tb *TBlock) {
+	if d.blocks == nil {
+		d.blocks = make(map[uint32]*TBlock, len(d.snapBlocks)+1)
+		for g, b := range d.snapBlocks {
+			d.blocks[g] = b
+		}
+		d.snapBlocks = nil
+	}
+	d.blocks[guest] = tb
+}
+
 // ensure returns the translation of the guest block starting at guest,
 // translating it now if needed.
 func (d *DBT) ensure(guest uint32) (*TBlock, error) {
-	if tb, ok := d.blocks[guest]; ok {
+	if tb, ok := d.lookupBlock(guest); ok {
 		return tb, nil
 	}
 	if !d.prog.Contains(guest) {
@@ -385,7 +469,7 @@ func (d *DBT) translate(guest uint32) *TBlock {
 		GuestBlocks: []uint32{guest},
 	}
 	// Register before emitting the tail so self-loops chain to themselves.
-	d.blocks[guest] = tb
+	d.setBlock(guest, tb)
 	d.tlist = append(d.tlist, tb)
 
 	e := &Emitter{d: d}
@@ -476,6 +560,7 @@ func (d *DBT) Invalidate() {
 	d.opts.Trace.Emit(obs.Event{Kind: obs.EvCacheInvalidate, Value: int64(len(d.cache))})
 	d.cache = nil
 	d.blocks = make(map[uint32]*TBlock)
+	d.snapBlocks = nil
 	d.tlist = nil
 	d.stubs = nil
 	d.stats.Invalidations++

@@ -122,7 +122,7 @@ func (e *Emitter) ExitDirect(guestTarget uint32) {
 		e.suppressValid = false
 		return
 	}
-	if tb, ok := e.d.blocks[guestTarget]; ok && !e.d.opts.NoChaining {
+	if tb, ok := e.d.lookupBlock(guestTarget); ok && !e.d.opts.NoChaining {
 		at := e.PC()
 		if e.lastBindValid && e.lastBindPC == at {
 			// The branch bound here can go straight to the translation.

@@ -12,10 +12,12 @@ import "repro/internal/isa"
 //
 // A Snapshot is immutable and safe for concurrent use. TBlocks are shared
 // by pointer between the snapshot and every DBT primed from it — they are
-// never mutated after translation — while the cache, block map, tlist and
-// stub slices are copied on both capture and restore, because faulty runs
-// mutate them in place (stub patching, chaining, new translations of wild
-// branch targets).
+// never mutated after translation — while the cache, tlist and stub slices
+// are copied on both capture and restore, because faulty runs mutate them
+// in place (stub patching, chaining, new translations of wild branch
+// targets). The block map is shared copy-on-write: clones reference it
+// read-only and materialize a private copy only when a run actually
+// translates something new (see DBT.setBlock).
 type Snapshot struct {
 	prog          *isa.Program
 	opts          Options
@@ -34,14 +36,20 @@ func (d *DBT) Snapshot() *Snapshot {
 		prog:          d.prog,
 		opts:          d.opts,
 		cache:         append([]isa.Instr(nil), d.cache...),
-		blocks:        make(map[uint32]*TBlock, len(d.blocks)),
 		tlist:         append([]*TBlock(nil), d.tlist...),
 		stubs:         append([]stub(nil), d.stubs...),
 		pendingCycles: d.pendingCycles,
 		stats:         d.stats,
 	}
-	for g, tb := range d.blocks {
-		s.blocks[g] = tb
+	if d.blocks == nil {
+		// The clone never materialized a private map; the shared one is
+		// already immutable and can be adopted as-is.
+		s.blocks = d.snapBlocks
+	} else {
+		s.blocks = make(map[uint32]*TBlock, len(d.blocks))
+		for g, tb := range d.blocks {
+			s.blocks[g] = tb
+		}
 	}
 	return s
 }
@@ -57,21 +65,20 @@ func (s *Snapshot) Stats() Stats { return s.stats }
 // NewDBT returns a fresh translator primed with a private copy of the
 // snapshot state: warm runs on it skip translation exactly as on the
 // snapshotted instance, and any mutation (chaining under a faulty run, new
-// translations) stays local to the returned DBT.
+// translations) stays local to the returned DBT. The block map is primed
+// lazily: most fault-injection samples never translate a new block, so the
+// clone shares the snapshot's read-only map and copies it only on the first
+// structural change (see DBT.setBlock).
 func (s *Snapshot) NewDBT() *DBT {
-	d := &DBT{
+	return &DBT{
 		prog:          s.prog,
 		opts:          s.opts,
 		tech:          s.opts.Technique,
 		cache:         append([]isa.Instr(nil), s.cache...),
-		blocks:        make(map[uint32]*TBlock, len(s.blocks)),
+		snapBlocks:    s.blocks,
 		tlist:         append([]*TBlock(nil), s.tlist...),
 		stubs:         append([]stub(nil), s.stubs...),
 		pendingCycles: s.pendingCycles,
 		stats:         s.stats,
 	}
-	for g, tb := range s.blocks {
-		d.blocks[g] = tb
-	}
-	return d
 }

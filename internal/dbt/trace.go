@@ -86,7 +86,7 @@ func (d *DBT) formTrace(head uint32) *TBlock {
 	d.tlist = append(d.tlist, tb)
 	// Future transfers to the loop head land on the trace. Translations of
 	// the interior blocks keep their standalone versions for side entries.
-	d.blocks[head] = tb
+	d.setBlock(head, tb)
 	d.stats.TracesFormed++
 	d.pendingCycles += uint64(d.opts.Costs.TranslateUnit) * uint64(tb.CacheEnd-tb.CacheStart)
 	return tb

@@ -1,0 +1,350 @@
+package inject
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/ckpt"
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// The checkpoint-and-resume engine. One instrumented clean run records
+// periodic checkpoints (ckpt.Record); every sample then restores the
+// nearest checkpoint at or before its fault site and executes only the
+// tail, turning a campaign of N samples over a clean run of S steps from
+// O(N·S) into O(N·interval + S). Three properties keep the reports
+// byte-identical to full replay:
+//
+//   - Restores are exact. A checkpoint captures the machine at a step
+//     boundary of a run whose translator deltas are non-structural, so a
+//     restored machine on a fresh snapshot clone is bit-for-bit the
+//     machine that executed the whole prefix (dbt.Stats.Structural).
+//   - Fault sites are monotone counters. A branch fault fires when the
+//     direct-branch counter reaches its index and a register fault when
+//     the step counter does; restoring at a point whose counters have not
+//     passed the index replays the firing exactly.
+//   - Clean tails are synthesized, never guessed. Only a fired offset-bit
+//     fault whose branch was not taken in either direction is
+//     short-circuited: the corrupted immediate is use-once and unused, so
+//     execution after the firing is the reference run, whose recorded
+//     finals provide the result. Flag faults persist in the flags register
+//     and register faults in the register file, so they always run their
+//     tail.
+
+// resolveInterval maps the CkptInterval knob to a step count: positive
+// values are explicit, negative auto-sizes to ~256 checkpoints over the
+// clean run with a floor that keeps small programs from spending more on
+// captures than they save on restores.
+func resolveInterval(knob int64, cleanSteps uint64) uint64 {
+	if knob > 0 {
+		return uint64(knob)
+	}
+	iv := cleanSteps / 256
+	if iv < 512 {
+		iv = 512
+	}
+	return iv
+}
+
+// sitePoint returns the checkpoint a fault restores from: the last point
+// whose firing counter has not yet reached the fault's site.
+func sitePoint(l *ckpt.Log, f *cpu.Fault) int {
+	if f.Kind == cpu.FaultRegBit {
+		return l.PointAtStep(f.StepIndex)
+	}
+	return l.PointAtBranch(f.BranchIndex)
+}
+
+// orderBySite returns sample indices sorted by restore point (ties in
+// sample order). Workers take every workers-th entry of the result, so
+// each worker visits its checkpoints in ascending order and its replayer
+// applies every page delta at most once.
+func orderBySite(points []int) []int {
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if points[order[a]] != points[order[b]] {
+			return points[order[a]] < points[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// shortCircuitable reports whether the fired fault provably cannot change
+// anything after its firing step: the flipped offset bit lived in a
+// branch immediate that was consumed exactly once, by a branch that fell
+// through in both the clean and the faulted direction. The machine is on
+// the reference trajectory, so the reference finals are the result.
+// Requires a complete reference recording to synthesize from.
+func shortCircuitable(l *ckpt.Log, f *cpu.Fault) bool {
+	return l.Complete() && f.Fired &&
+		f.Kind == cpu.FaultOffsetBit && !f.CleanTaken && !f.FaultTaken
+}
+
+// runCkptSamples is the checkpoint engine for translated campaigns. The
+// recording run doubles as the clean reference.
+func runCkptSamples(p *isa.Program, cfg *Config, rep *Report, snap *dbt.Snapshot,
+	tech string, shards []*obs.Collector, results []sampleResult, cleanSteps uint64) error {
+	start := time.Now()
+	interval := resolveInterval(cfg.CkptInterval, cleanSteps)
+	log, err := ckpt.Record(snap, interval, cfg.MaxSteps)
+	if err != nil {
+		return fmt.Errorf("%s: %v", p.Name, err)
+	}
+	if log.Stop.Reason != cpu.StopHalt {
+		return fmt.Errorf("%s: clean run ended with %v", p.Name, log.Stop)
+	}
+	want := log.Output
+	branches := log.Final.DirectBranches
+	steps := log.Final.Steps
+	if branches == 0 {
+		return fmt.Errorf("%s: no branches to fault", p.Name)
+	}
+	publishLog(cfg.Metrics, tech, log)
+
+	// Faults derive per index exactly as under replay; only the execution
+	// order changes, and results land in their own index slot.
+	faults := make([]*cpu.Fault, cfg.Samples)
+	points := make([]int, cfg.Samples)
+	for i := range faults {
+		faults[i] = deriveFault(cfg, i, branches, steps)
+		points[i] = sitePoint(log, faults[i])
+	}
+	order := orderBySite(points)
+	base := snap.Stats()
+	workers := rep.Workers
+	par.RunWorkers(workers, func(w int) error {
+		var c *obs.Collector
+		if shards != nil {
+			c = shards[w]
+		}
+		r := log.NewReplayer()
+		for j := w; j < len(order); j += workers {
+			i := order[j]
+			runCkptSample(cfg, snap, base, log, r, tech, c, faults[i], points[i], i, want, &results[i])
+		}
+		return nil
+	})
+	rep.Elapsed = time.Since(start)
+	return nil
+}
+
+// runCkptSample classifies one fault from a checkpoint restore.
+func runCkptSample(cfg *Config, snap *dbt.Snapshot, base dbt.Stats, log *ckpt.Log,
+	r *ckpt.Replayer, tech string, c *obs.Collector,
+	f *cpu.Fault, k, sample int, want []int32, out *sampleResult) {
+	sd := snap.NewDBT()
+	m := r.Machine(k)
+	m.Fault = f
+	pt := &log.Points[k]
+	sd.Resume(m, pt.Prefix)
+	restored := pt.State.Steps
+
+	// Execute the tail in interval-sized chunks until the fault fires,
+	// then run the rest in one go — or synthesize it when the firing
+	// provably left the run on the reference trajectory.
+	stop := cpu.Stop{Reason: cpu.StopOutOfSteps}
+	short := false
+	for stop.Reason == cpu.StopOutOfSteps && m.Steps < cfg.MaxSteps {
+		if f.Fired {
+			if shortCircuitable(log, f) {
+				short = true
+			} else {
+				stop = sd.Advance(m, cfg.MaxSteps)
+			}
+			break
+		}
+		target := m.Steps + log.Interval
+		if target > cfg.MaxSteps {
+			target = cfg.MaxSteps
+		}
+		stop = sd.Advance(m, target)
+	}
+
+	if short {
+		observeRestore(c, tech, restored, m.Steps-restored, true)
+		out.stats = log.FinalPrefix
+		rec := Record{
+			Sample:   sample,
+			Fault:    *f,
+			Outcome:  OutBenign,
+			Category: classifyCategory(sd, f),
+		}
+		if c != nil {
+			observeSample(c, tech, &rec, log.Final.SigChecks, log.CacheSize)
+		}
+		out.fired = true
+		out.rec = rec
+		return
+	}
+
+	res := sd.Finish(m, stop)
+	observeRestore(c, tech, restored, res.Steps-restored, false)
+	out.stats = res.Stats.Sub(base)
+	if !f.Fired {
+		if c != nil {
+			observeNotFired(c, tech)
+		}
+		return
+	}
+	rec := Record{
+		Sample:   sample,
+		Fault:    *f,
+		Outcome:  classifyOutcome(res, want),
+		Category: classifyCategory(sd, f),
+	}
+	if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
+		rec.Latency = res.Steps - f.FiredStep
+		if cfg.Trace != nil {
+			cfg.Trace.Emit(obs.Event{
+				Kind: obs.EvErrorDetected, Sample: obs.SampleRef(sample),
+				Value:  int64(rec.Latency),
+				Detail: rec.Outcome.String() + "/" + rec.Category.String(),
+			})
+		}
+	}
+	if c != nil {
+		observeSample(c, tech, &rec, res.SigChecks, res.CacheSize)
+	}
+	out.fired = true
+	out.rec = rec
+}
+
+// runStaticCkptSamples is the checkpoint engine for native (no
+// translator) campaigns: same restore/sort/short-circuit discipline, but
+// the machine runs guest code directly and there is no translator state
+// to credit or protect.
+func runStaticCkptSamples(p *isa.Program, g *cfg.Graph, cfgn *Config, rep *Report,
+	label string, shards []*obs.Collector, results []sampleResult, cleanSteps uint64) error {
+	start := time.Now()
+	interval := resolveInterval(cfgn.CkptInterval, cleanSteps)
+	log, err := ckpt.RecordStatic(p, interval, cfgn.MaxSteps)
+	if err != nil {
+		return fmt.Errorf("%s: %v", p.Name, err)
+	}
+	if log.Stop.Reason != cpu.StopHalt {
+		return fmt.Errorf("%s: clean run ended with %v", p.Name, log.Stop)
+	}
+	publishLog(cfgn.Metrics, label, log)
+	want := log.Output
+	branches := log.Final.DirectBranches
+
+	faults := make([]*cpu.Fault, cfgn.Samples)
+	points := make([]int, cfgn.Samples)
+	for i := range faults {
+		rng := newSampleRNG(cfgn.Seed, i)
+		faults[i] = deriveBranchFault(&rng, branches)
+		points[i] = sitePoint(log, faults[i])
+	}
+	order := orderBySite(points)
+	workers := rep.Workers
+	par.RunWorkers(workers, func(w int) error {
+		var c *obs.Collector
+		if shards != nil {
+			c = shards[w]
+		}
+		r := log.NewReplayer()
+		for j := w; j < len(order); j += workers {
+			i := order[j]
+			f := faults[i]
+			m := r.Machine(points[i])
+			m.Fault = f
+			restored := m.Steps
+
+			stop := cpu.Stop{Reason: cpu.StopOutOfSteps}
+			short := false
+			for stop.Reason == cpu.StopOutOfSteps && m.Steps < cfgn.MaxSteps {
+				if f.Fired {
+					if shortCircuitable(log, f) {
+						short = true
+					} else {
+						stop = m.Run(p.Code, cfgn.MaxSteps)
+					}
+					break
+				}
+				target := m.Steps + log.Interval
+				if target > cfgn.MaxSteps {
+					target = cfgn.MaxSteps
+				}
+				stop = m.Run(p.Code, target)
+			}
+
+			observeRestore(c, label, restored, m.Steps-restored, short)
+			if short {
+				rec := Record{
+					Sample:   i,
+					Fault:    *f,
+					Outcome:  OutBenign,
+					Category: classifyStaticCategory(g, f),
+				}
+				if c != nil {
+					observeSample(c, label, &rec, log.Final.SigChecks, 0)
+				}
+				results[i] = sampleResult{fired: true, rec: rec}
+				continue
+			}
+			cpu.TraceRunOutcome(cfgn.Trace, m, stop)
+			if !f.Fired {
+				if c != nil {
+					observeNotFired(c, label)
+				}
+				continue
+			}
+			rec := Record{
+				Sample:   i,
+				Fault:    *f,
+				Outcome:  classifyStaticOutcome(stop, m.Output, want),
+				Category: classifyStaticCategory(g, f),
+			}
+			if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
+				rec.Latency = m.Steps - f.FiredStep
+				cfgn.Trace.Emit(obs.Event{
+					Kind: obs.EvErrorDetected, Sample: obs.SampleRef(i),
+					Value:  int64(rec.Latency),
+					Detail: rec.Outcome.String() + "/" + rec.Category.String(),
+				})
+			}
+			if c != nil {
+				observeSample(c, label, &rec, m.SigChecks, 0)
+			}
+			results[i] = sampleResult{fired: true, rec: rec}
+		}
+		return nil
+	})
+	rep.Elapsed = time.Since(start)
+	return nil
+}
+
+// publishLog records the reference recording's footprint: how many points
+// were captured and how much memory the state and page deltas occupy.
+func publishLog(reg *obs.Registry, technique string, l *ckpt.Log) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(seriesName("ckpt_points_total", technique)).Add(uint64(len(l.Points)))
+	reg.Counter(seriesName("ckpt_bytes_total", technique)).Add(l.Bytes)
+}
+
+// observeRestore folds one restore into a worker's shard: the steps the
+// checkpoint skipped versus the steps actually executed (the engine's
+// amortization ratio), plus the short-circuit count.
+func observeRestore(c *obs.Collector, technique string, restored, replayed uint64, short bool) {
+	if c == nil {
+		return
+	}
+	c.Add(seriesName("ckpt_restores_total", technique), 1)
+	if short {
+		c.Add(seriesName("ckpt_shortcircuits_total", technique), 1)
+	}
+	c.Observe(seriesName("ckpt_restored_steps", technique), obs.DefaultLatencyBuckets, restored)
+	c.Observe(seriesName("ckpt_replayed_steps", technique), obs.DefaultLatencyBuckets, replayed)
+}

@@ -157,6 +157,14 @@ type Config struct {
 	// sample derives its fault from (Seed, index) and runs on a private
 	// clone of the warmed translator.
 	Workers int
+	// CkptInterval selects the checkpoint-and-resume engine. 0 disables it
+	// (every sample replays the whole clean prefix); -1 picks a capture
+	// interval automatically from the clean run length; positive values set
+	// the interval in machine steps. The engine records checkpoints during
+	// one clean reference run and restores each sample at the nearest
+	// checkpoint before its fault site, executing only the tail. Reports
+	// are byte-identical to full replay for every Workers value.
+	CkptInterval int64
 	// Metrics, when non-nil, receives campaign metrics: outcome counters,
 	// per-category detection-latency histograms, translator counters and
 	// code-cache occupancy. Samples observe into per-worker collector
@@ -238,15 +246,21 @@ func (r *Report) merge(results []sampleResult, keepRecords bool) {
 	}
 }
 
+// warmRunCap bounds the stabilization loop: chaining settles after a
+// couple of runs and trace formation within a few more, so the cap only
+// matters for pathological programs whose cache never stops churning.
+const warmRunCap = 32
+
 // Campaign injects cfg.Samples random single faults into executions of p
 // under the translator and classifies every outcome.
 //
-// The translator is warmed once (until the dynamic branch count
-// stabilizes), snapshotted, and every sample then runs on a private clone
-// of the snapshot: a faulty run's cache mutations (chaining, wild-target
+// The translator is warmed once (until a clean run leaves the cache fully
+// settled), snapshotted, and every sample then runs on a private clone of
+// the snapshot: a faulty run's cache mutations (chaining, wild-target
 // translations) never leak into other samples. Combined with per-index
 // fault derivation this makes the classified results a pure function of
-// (program, cfg minus Workers) — Workers only changes the wall-clock.
+// (program, cfg minus Workers and CkptInterval) — Workers and the
+// checkpoint engine only change the wall-clock.
 func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 	if cfg.Samples <= 0 {
 		cfg.Samples = 100
@@ -262,28 +276,28 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 		Trace:          cfg.Trace,
 	})
 
-	// Warm the cache until the dynamic branch count stabilizes: chaining
-	// turns dispatch stubs into jump instructions, which are themselves
-	// fault sites, so the cold run undercounts.
+	// Warm the cache until a clean run neither changes the dynamic branch
+	// count nor touches translator state. Chaining turns dispatch stubs
+	// into jump instructions, which are themselves fault sites, so a cold
+	// run undercounts; and a snapshot that still churns on clean runs would
+	// leave the checkpoint engine nothing restorable. The loop is identical
+	// for every CkptInterval, so both engines share snapshot geometry.
 	clean := d.Run(nil, cfg.MaxSteps)
 	if clean.Stop.Reason != cpu.StopHalt {
 		return nil, fmt.Errorf("%s: clean run ended with %v", p.Name, clean.Stop)
 	}
-	for i := 0; i < 4; i++ {
+	for i := 0; i < warmRunCap; i++ {
+		pre := d.StatsSnapshot()
 		next := d.Run(nil, cfg.MaxSteps)
 		if next.Stop.Reason != cpu.StopHalt {
 			return nil, fmt.Errorf("%s: warm run ended with %v", p.Name, next.Stop)
 		}
-		stable := next.DirectBranches == clean.DirectBranches
+		stable := next.DirectBranches == clean.DirectBranches &&
+			!d.StatsSnapshot().Sub(pre).Structural()
 		clean = next
 		if stable {
 			break
 		}
-	}
-	want := clean.Output
-	branches := clean.DirectBranches
-	if branches == 0 {
-		return nil, fmt.Errorf("%s: no branches to fault", p.Name)
 	}
 
 	tech := "none"
@@ -301,14 +315,49 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 	snap := d.Snapshot()
 	base := snap.Stats()
 	rep.Translator = base // warm-up work; merge adds per-sample deltas
-	steps := clean.Steps
 
 	cfg.Trace.Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: p.Name + "/" + tech})
 	shards := newShards(cfg.Metrics, rep.Workers)
 	results := make([]sampleResult, cfg.Samples)
+	var err error
+	if cfg.CkptInterval != 0 {
+		err = runCkptSamples(p, &cfg, rep, snap, tech, shards, results, clean.Steps)
+	} else {
+		err = runReplaySamples(p, &cfg, rep, snap, tech, shards, results)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.merge(results, cfg.KeepRecords)
+	flushShards(shards, cfg.Metrics)
+	if cfg.Metrics != nil {
+		rep.Translator.Publish(cfg.Metrics, tech)
+		cfg.Metrics.Gauge(seriesName("dbt_code_cache_instrs", tech)).Max(int64(snap.CacheLen()))
+	}
+	cfg.Trace.Emit(obs.Event{Kind: obs.EvCampaignEnd, Value: int64(cfg.Samples), Detail: p.Name + "/" + tech})
+	return rep, nil
+}
+
+// runReplaySamples is the full-replay engine: every sample executes the
+// guest from entry on a private snapshot clone. The clean reference is a
+// post-snapshot run on a clone, so both engines classify against the same
+// geometry regardless of how warm-up converged.
+func runReplaySamples(p *isa.Program, cfg *Config, rep *Report, snap *dbt.Snapshot,
+	tech string, shards []*obs.Collector, results []sampleResult) error {
 	start := time.Now()
+	base := snap.Stats()
+	ref := snap.NewDBT().Run(nil, cfg.MaxSteps)
+	if ref.Stop.Reason != cpu.StopHalt {
+		return fmt.Errorf("%s: clean run ended with %v", p.Name, ref.Stop)
+	}
+	want := ref.Output
+	branches := ref.DirectBranches
+	steps := ref.Steps
+	if branches == 0 {
+		return fmt.Errorf("%s: no branches to fault", p.Name)
+	}
 	par.ForEachShard(cfg.Samples, rep.Workers, func(w, i int) error {
-		f := deriveFault(&cfg, i, branches, steps)
+		f := deriveFault(cfg, i, branches, steps)
 		sd := snap.NewDBT()
 		res := sd.Run(f, cfg.MaxSteps)
 		results[i].stats = res.Stats.Sub(base)
@@ -342,14 +391,7 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 		return nil
 	})
 	rep.Elapsed = time.Since(start)
-	rep.merge(results, cfg.KeepRecords)
-	flushShards(shards, cfg.Metrics)
-	if cfg.Metrics != nil {
-		rep.Translator.Publish(cfg.Metrics, tech)
-		cfg.Metrics.Gauge(seriesName("dbt_code_cache_instrs", tech)).Max(int64(snap.CacheLen()))
-	}
-	cfg.Trace.Emit(obs.Event{Kind: obs.EvCampaignEnd, Value: int64(cfg.Samples), Detail: p.Name + "/" + tech})
-	return rep, nil
+	return nil
 }
 
 func classifyOutcome(res *dbt.Result, want []int32) Outcome {

@@ -52,6 +52,18 @@ func StaticCampaign(p *isa.Program, label string, cfgn Config) (*Report, error) 
 	cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: p.Name + "/" + label})
 	shards := newShards(cfgn.Metrics, rep.Workers)
 	results := make([]sampleResult, cfgn.Samples)
+	if cfgn.CkptInterval != 0 {
+		// Checkpoint engine: the native recording run doubles as the clean
+		// reference (native execution is trivially deterministic, so its
+		// geometry matches the clean run above exactly).
+		if err := runStaticCkptSamples(p, g, &cfgn, rep, label, shards, results, clean.Steps); err != nil {
+			return nil, err
+		}
+		rep.merge(results, cfgn.KeepRecords)
+		flushShards(shards, cfgn.Metrics)
+		cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignEnd, Value: int64(cfgn.Samples), Detail: p.Name + "/" + label})
+		return rep, nil
+	}
 	start := time.Now()
 	par.ForEachShard(cfgn.Samples, rep.Workers, func(w, i int) error {
 		rng := newSampleRNG(cfgn.Seed, i)

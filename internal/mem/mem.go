@@ -3,9 +3,24 @@
 // stores outside the mapped region raise a protection fault, playing the
 // role of the hardware memory-protection mechanisms the paper relies on to
 // catch wild accesses.
+//
+// The memory additionally carries a dirty-page delta layer for the
+// checkpoint engine: words are grouped into pages of PageWords, each page
+// carries the generation tag of its last write, and CaptureDirty hands out
+// exactly the pages written since the previous capture. Recording a
+// checkpoint therefore copies only the delta, not the whole image.
 package mem
 
 import "fmt"
+
+// PageShift and PageWords define the dirty-tracking granularity: 64 words
+// (256 bytes) per page, small enough that loop-local working sets produce
+// compact checkpoint deltas, large enough that the per-store tag write
+// stays off the critical cache lines.
+const (
+	PageShift = 6
+	PageWords = 1 << PageShift
+)
 
 // ProtectionFault describes an out-of-bounds access.
 type ProtectionFault struct {
@@ -22,14 +37,32 @@ func (f *ProtectionFault) Error() string {
 	return fmt.Sprintf("memory protection fault: %s at 0x%x (mapped: %d words)", kind, f.Addr, f.Size)
 }
 
-// Memory is a flat word-addressed data memory.
+// Memory is a flat word-addressed data memory with per-page write
+// generations.
 type Memory struct {
-	words []int32
+	words   []int32
+	pageGen []uint64 // last-write generation per page
+	gen     uint64   // current write generation
 }
+
+// pageCount returns the number of tracking pages covering n words.
+func pageCount(n int) int { return (n + PageWords - 1) >> PageShift }
 
 // New returns a memory of n words, zero initialized.
 func New(n uint32) *Memory {
-	return &Memory{words: make([]int32, n)}
+	return &Memory{
+		words:   make([]int32, n),
+		pageGen: make([]uint64, pageCount(int(n))),
+		gen:     1,
+	}
+}
+
+// NewFrom returns a memory initialized with a copy of words (the restore
+// path of the checkpoint engine).
+func NewFrom(words []int32) *Memory {
+	m := New(uint32(len(words)))
+	copy(m.words, words)
+	return m
 }
 
 // Size returns the number of mapped words.
@@ -49,14 +82,37 @@ func (m *Memory) Store(addr uint32, v int32) error {
 		return &ProtectionFault{Addr: addr, Write: true, Size: m.Size()}
 	}
 	m.words[addr] = v
+	m.pageGen[addr>>PageShift] = m.gen
 	return nil
 }
 
-// Reset zeroes all words, keeping the size.
+// Reset zeroes all words, keeping the size. Every page is marked dirty so
+// a pending CaptureDirty still sees the zeroing.
 func (m *Memory) Reset() {
-	for i := range m.words {
-		m.words[i] = 0
+	clear(m.words)
+	for i := range m.pageGen {
+		m.pageGen[i] = m.gen
 	}
+}
+
+// CaptureDirty invokes fn for every page written since the previous
+// CaptureDirty (or since creation), in ascending page order, then advances
+// the generation so the next capture sees only newer writes. The words
+// slice aliases the live memory and is valid only during the call; the
+// final page may be shorter than PageWords.
+func (m *Memory) CaptureDirty(fn func(page uint32, words []int32)) {
+	for p, g := range m.pageGen {
+		if g != m.gen {
+			continue
+		}
+		lo := p << PageShift
+		hi := lo + PageWords
+		if hi > len(m.words) {
+			hi = len(m.words)
+		}
+		fn(uint32(p), m.words[lo:hi])
+	}
+	m.gen++
 }
 
 // Snapshot returns a copy of the memory contents (for tests and debugging).

@@ -75,6 +75,96 @@ func TestResetAndSnapshot(t *testing.T) {
 	}
 }
 
+func capturePages(m *Memory) map[uint32][]int32 {
+	got := map[uint32][]int32{}
+	m.CaptureDirty(func(page uint32, words []int32) {
+		got[page] = append([]int32(nil), words...)
+	})
+	return got
+}
+
+func TestCaptureDirtyDeltas(t *testing.T) {
+	m := New(PageWords*2 + 3) // final page is short
+	if got := capturePages(m); len(got) != 0 {
+		t.Fatalf("fresh memory has dirty pages: %v", got)
+	}
+	if err := m.Store(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store(PageWords*2+2, 22); err != nil {
+		t.Fatal(err)
+	}
+	got := capturePages(m)
+	if len(got) != 2 {
+		t.Fatalf("dirty pages = %v, want pages 0 and 2", got)
+	}
+	if got[0][1] != 11 {
+		t.Errorf("page 0 word 1 = %d", got[0][1])
+	}
+	if len(got[2]) != 3 || got[2][2] != 22 {
+		t.Errorf("short final page = %v", got[2])
+	}
+	// The capture advanced the generation: only newer writes show up next.
+	if err := m.Store(PageWords, 33); err != nil {
+		t.Fatal(err)
+	}
+	got = capturePages(m)
+	if len(got) != 1 || got[1][0] != 33 {
+		t.Errorf("second capture = %v, want only page 1", got)
+	}
+	if got = capturePages(m); len(got) != 0 {
+		t.Errorf("idle capture = %v, want none", got)
+	}
+}
+
+func TestResetMarksAllDirty(t *testing.T) {
+	m := New(PageWords * 3)
+	capturePages(m) // advance the generation past creation
+	m.Reset()
+	if got := capturePages(m); len(got) != 3 {
+		t.Errorf("after Reset %d pages dirty, want all 3", len(got))
+	}
+}
+
+func TestNewFrom(t *testing.T) {
+	src := []int32{5, 6, 7}
+	m := NewFrom(src)
+	src[0] = 99 // NewFrom must copy
+	if v, _ := m.Load(0); v != 5 {
+		t.Errorf("word 0 = %d, want 5", v)
+	}
+	if m.Size() != 3 {
+		t.Errorf("size = %d", m.Size())
+	}
+}
+
+// Property: replaying captured dirty pages onto a shadow image keeps it
+// equal to the live memory — the invariant the checkpoint replayer needs.
+func TestCaptureDirtyRebuildsImage(t *testing.T) {
+	const size = PageWords*4 + 7
+	m := New(size)
+	img := make([]int32, size)
+	rng := uint32(1)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 50; i++ {
+			rng = rng*1664525 + 1013904223
+			addr := rng % size
+			if err := m.Store(addr, int32(rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.CaptureDirty(func(page uint32, words []int32) {
+			copy(img[int(page)<<PageShift:], words)
+		})
+		live := m.Snapshot()
+		for i := range img {
+			if img[i] != live[i] {
+				t.Fatalf("round %d: image diverges at word %d: %d != %d", round, i, img[i], live[i])
+			}
+		}
+	}
+}
+
 // Property: a store followed by a load at any in-range address returns the
 // stored value, and out-of-range accesses always fault.
 func TestLoadStoreProperty(t *testing.T) {

@@ -36,6 +36,38 @@ func ForEach(jobs, workers int, fn func(i int) error) error {
 	return ForEachShard(jobs, workers, func(_, i int) error { return fn(i) })
 }
 
+// RunWorkers starts one goroutine per worker index in [0, workers) and
+// runs fn(w) on each. Unlike ForEachShard there is no shared job counter:
+// the caller statically partitions the work by worker index (e.g. a
+// round-robin split of a sorted job list), trading dynamic balance for a
+// per-worker processing order the caller controls. With one worker fn runs
+// inline on the calling goroutine. The lowest-indexed worker's error is
+// returned, so the reported error does not depend on scheduling.
+func RunWorkers(workers int, fn func(w int) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		return fn(0)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = fn(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ForEachShard is ForEach with the worker's pool index exposed:
 // fn(worker, i) with worker in [0, Workers(workers, jobs)). A worker
 // index is owned by exactly one goroutine, so fn may accumulate into
