@@ -7,6 +7,7 @@ package repro_test
 // cmd/cfc-inject tools print the full tables at scale 1.0.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -98,7 +99,7 @@ func BenchmarkDBTBaseline(b *testing.B) {
 // paper's Section 3 claims, measured).
 func BenchmarkCoverageCampaign(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		reports, err := bench.CoverageMatrix(bench.CoverageConfig{
+		reports, err := bench.CoverageMatrix(context.Background(), bench.CoverageConfig{
 			Scale:   0.05,
 			Samples: 150,
 			Seed:    1,

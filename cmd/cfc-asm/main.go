@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/obs"
@@ -24,14 +25,14 @@ func main() {
 		entry = flag.Uint("entry", 0, "entry address for -d")
 		data  = flag.Uint("data", 4096, "data segment words for -d")
 	)
-	var cli obs.CLI
-	cli.BindFlags(flag.CommandLine)
+	var app cli.App
+	app.BindFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cfc-asm [-d] [-o out] file")
 		os.Exit(2)
 	}
-	fatalIf(cli.Open())
+	fatalIf(app.Open())
 	in := flag.Arg(0)
 	src, err := os.ReadFile(in)
 	if err != nil {
@@ -43,15 +44,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		publishProgram(cli.Registry(), "disassemble", p)
+		publishProgram(app.Registry(), "disassemble", p)
 		text := core.Disassemble(p)
 		if *out == "" {
 			fmt.Print(text)
-			fatalIf(cli.Close())
+			fatalIf(app.Close())
 			return
 		}
 		fatalIf(os.WriteFile(*out, []byte(text), 0o644))
-		fatalIf(cli.Close())
+		fatalIf(app.Close())
 		return
 	}
 
@@ -59,7 +60,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	publishProgram(cli.Registry(), "assemble", p)
+	publishProgram(app.Registry(), "assemble", p)
 	dst := *out
 	if dst == "" {
 		dst = "a.bin"
@@ -67,7 +68,7 @@ func main() {
 	fatalIf(os.WriteFile(dst, p.Image(), 0o644))
 	fmt.Printf("%s: %d instructions, entry 0x%x, data %d words -> %s\n",
 		p.Name, p.Len(), p.Entry, p.DataWords, dst)
-	fatalIf(cli.Close())
+	fatalIf(app.Close())
 }
 
 func publishProgram(reg *obs.Registry, mode string, p *isa.Program) {

@@ -20,28 +20,27 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure: 12|14|15|dbt|all")
-		scale   = flag.Float64("scale", 1.0, "workload dynamic scale")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		ckptIv  = flag.Int64("ckpt-interval", -1,
-			"campaign checkpoint interval in steps (-1 auto, 0 full replay)")
+		fig   = flag.String("fig", "all", "which figure: 12|14|15|dbt|all")
+		scale = flag.Float64("scale", 1.0, "workload dynamic scale")
 	)
-	var cli obs.CLI
-	cli.BindFlags(flag.CommandLine)
+	app := cli.App{CkptInterval: -1}
+	app.BindFlags(flag.CommandLine)
 	flag.Parse()
-	fatalIf(cli.Open())
-	reg := cli.Registry()
+	fatalIf(app.Open())
+	reg := app.Registry()
+	workers, ckptIv := &app.Workers, &app.CkptInterval
 
 	run := func(name string) {
 		// Figure-level section markers; the campaign-running figures do
 		// not rebuild per-sample traces here (use cfc-inject for that).
-		cli.Tracer().Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: "figure:" + name})
-		defer cli.Tracer().Emit(obs.Event{Kind: obs.EvCampaignEnd, Detail: "figure:" + name})
+		app.Tracer().Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: "figure:" + name})
+		defer app.Tracer().Emit(obs.Event{Kind: obs.EvCampaignEnd, Detail: "figure:" + name})
 		switch name {
 		case "12":
 			t, err := bench.Figure12(*scale, *workers)
@@ -89,11 +88,11 @@ func main() {
 		for _, f := range []string{"dbt", "12", "14", "15", "ablate", "dfc", "latency"} {
 			run(f)
 		}
-		fatalIf(cli.Close())
+		fatalIf(app.Close())
 		return
 	}
 	run(*fig)
-	fatalIf(cli.Close())
+	fatalIf(app.Close())
 }
 
 // minF caps the campaign scale: fault injection runs the program once per

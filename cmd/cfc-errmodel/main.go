@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/errmodel"
 	"repro/internal/obs"
@@ -18,12 +19,11 @@ func main() {
 	var (
 		scale    = flag.Float64("scale", 1.0, "workload dynamic scale")
 		workload = flag.String("workload", "", "analyze a single workload instead of both suites")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	)
-	var cli obs.CLI
-	cli.BindFlags(flag.CommandLine)
+	var app cli.App
+	app.BindFlags(flag.CommandLine)
 	flag.Parse()
-	fatalIf(cli.Open())
+	fatalIf(app.Open())
 
 	if *workload != "" {
 		p, err := core.Workload(*workload, *scale)
@@ -37,12 +37,12 @@ func main() {
 		fmt.Print(errmodel.FormatFigure2("Branch-error probabilities: "+*workload, t))
 		fmt.Println()
 		fmt.Print(errmodel.FormatFigure3("Normalized: "+*workload, t))
-		publishTable(cli.Registry(), *workload, t)
-		fatalIf(cli.Close())
+		publishTable(app.Registry(), *workload, t)
+		fatalIf(app.Close())
 		return
 	}
 
-	intTab, fpTab, err := bench.Figure2(*scale, *workers)
+	intTab, fpTab, err := bench.Figure2(*scale, app.Workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -53,9 +53,9 @@ func main() {
 	fmt.Print(errmodel.FormatFigure3("Figure 3 — SPEC-Int 2000", intTab))
 	fmt.Println()
 	fmt.Print(errmodel.FormatFigure3("Figure 3 — SPEC-Fp 2000", fpTab))
-	publishTable(cli.Registry(), "spec-int", intTab)
-	publishTable(cli.Registry(), "spec-fp", fpTab)
-	fatalIf(cli.Close())
+	publishTable(app.Registry(), "spec-int", intTab)
+	publishTable(app.Registry(), "spec-fp", fpTab)
+	fatalIf(app.Close())
 }
 
 // publishTable exports a Figure 2 table's fault-site counts per category,

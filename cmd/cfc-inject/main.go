@@ -20,18 +20,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"reflect"
 	"runtime"
+	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/isa"
-	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -44,53 +47,82 @@ func main() {
 		policy   = flag.String("policy", "ALLBB", "ALLBB|RET-BE|RET|END")
 		samples  = flag.Int("samples", 500, "number of injected faults")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		matrix   = flag.Bool("matrix", false, "run the full coverage matrix instead")
 		jsonOut  = flag.String("json", "", "write a throughput benchmark record to this file")
-		ckptIv   = flag.Int64("ckpt-interval", -1,
-			"checkpoint interval in steps (-1 auto, 0 full replay)")
-		ckptOut = flag.String("ckpt-json", "",
+		ckptOut  = flag.String("ckpt-json", "",
 			"write a checkpoint-vs-replay engine benchmark record to this file")
+		reportOut = flag.String("report-json", "",
+			"write the normalized campaign report (JSON) to this file")
 	)
-	var cli obs.CLI
-	cli.BindFlags(flag.CommandLine)
+	app := cli.App{CkptInterval: -1}
+	app.BindFlags(flag.CommandLine)
 	flag.Parse()
-	fatalIf(cli.Open())
+	fatalIf(app.Open())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *matrix {
-		reports, err := bench.CoverageMatrix(bench.CoverageConfig{
-			Scale:        *scale,
-			Samples:      *samples,
-			Seed:         *seed,
-			Workers:      *workers,
-			Metrics:      cli.Registry(),
-			Trace:        cli.Tracer(),
-			CkptInterval: *ckptIv,
+		reports, err := bench.CoverageMatrix(ctx, bench.CoverageConfig{
+			Scale:   *scale,
+			Samples: *samples,
+			Seed:    *seed,
+			Options: app.Options(),
 		})
 		fatalIf(err)
 		fmt.Print(bench.FormatCoverageMatrix(reports))
-		fatalIf(cli.Close())
+		fatalIf(app.Close())
 		return
 	}
 
 	p, err := core.Workload(*workload, *scale)
 	fatalIf(err)
-	cfg := core.Config{Technique: *tech, Style: *style, Policy: *policy, CkptInterval: *ckptIv}
+	cfg := core.Config{Technique: *tech, Style: *style, Policy: *policy}
+	cfg.CkptInterval = app.CkptInterval
 
 	if *jsonOut != "" {
 		// The determinism-check runs stay unobserved so the snapshot and
 		// trace describe exactly one campaign: the reported one below.
-		fatalIf(writeBenchJSON(*jsonOut, p, cfg, *samples, *seed, *workers))
+		fatalIf(writeBenchJSON(ctx, *jsonOut, p, cfg, *samples, *seed, app.Workers))
 	}
 	if *ckptOut != "" {
-		fatalIf(writeCkptJSON(*ckptOut, p, cfg, *samples, *seed))
+		fatalIf(writeCkptJSON(ctx, *ckptOut, p, cfg, *samples, *seed))
 	}
 
-	cfg.Metrics, cfg.Trace = cli.Registry(), cli.Tracer()
-	rep, err := core.Inject(p, cfg, *samples, *seed, *workers)
+	cfg.Options = app.Options()
+	rep, err := core.InjectCtx(ctx, p, cfg, *samples, *seed)
 	fatalIf(err)
 	fmt.Print(inject.FormatReport(rep))
-	fatalIf(cli.Close())
+	if *reportOut != "" {
+		fatalIf(writeReportJSON(*reportOut, rep))
+	}
+	fatalIf(app.Close())
+}
+
+// reportRecord is the -report-json schema: the normalized report text plus
+// the summary fields the batch server streams, so CI can diff a CLI run
+// against a served campaign field for field.
+type reportRecord struct {
+	Workload  string `json:"workload"`
+	Technique string `json:"technique"`
+	Samples   int    `json:"samples"`
+	NotFired  int    `json:"not_fired"`
+	// Report is the FormatNormalized rendering: byte-identical to the
+	// server stream's "report" field for the same configuration.
+	Report string `json:"report"`
+}
+
+func writeReportJSON(path string, rep *inject.Report) error {
+	out, err := json.MarshalIndent(reportRecord{
+		Workload:  rep.Program,
+		Technique: rep.Technique,
+		Samples:   rep.Samples,
+		NotFired:  rep.NotFired,
+		Report:    inject.FormatNormalized(rep),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // benchRecord is the schema of the -json output, one file per campaign.
@@ -115,15 +147,17 @@ type benchRun struct {
 // writeBenchJSON measures the same campaign serially and at the requested
 // worker count, verifies the classified results are identical, and records
 // both timings so CI can track campaign throughput.
-func writeBenchJSON(path string, p *isa.Program, cfg core.Config, samples int, seed int64, workers int) error {
+func writeBenchJSON(ctx context.Context, path string, p *isa.Program, cfg core.Config, samples int, seed int64, workers int) error {
 	parallel := par.Workers(workers, samples)
-	serial, err := core.Inject(p, cfg, samples, seed, 1)
+	cfg.Workers = 1
+	serial, err := core.InjectCtx(ctx, p, cfg, samples, seed)
 	if err != nil {
 		return err
 	}
 	multi := serial
 	if parallel != 1 {
-		multi, err = core.Inject(p, cfg, samples, seed, parallel)
+		cfg.Workers = parallel
+		multi, err = core.InjectCtx(ctx, p, cfg, samples, seed)
 		if err != nil {
 			return err
 		}
@@ -186,7 +220,7 @@ type ckptRun struct {
 // the checkpoint-and-resume engine at one and four workers, verifies the
 // classified reports are byte-identical, and records the wall-clock
 // speedup the checkpoint engine delivers.
-func writeCkptJSON(path string, p *isa.Program, cfg core.Config, samples int, seed int64) error {
+func writeCkptJSON(ctx context.Context, path string, p *isa.Program, cfg core.Config, samples int, seed int64) error {
 	iv := cfg.CkptInterval
 	if iv == 0 {
 		iv = -1
@@ -203,14 +237,14 @@ func writeCkptJSON(path string, p *isa.Program, cfg core.Config, samples int, se
 	}
 	for _, w := range []int{1, 4} {
 		rcfg := cfg
-		rcfg.CkptInterval = 0
-		replay, err := core.Inject(p, rcfg, samples, seed, w)
+		rcfg.CkptInterval, rcfg.Workers = 0, w
+		replay, err := core.InjectCtx(ctx, p, rcfg, samples, seed)
 		if err != nil {
 			return err
 		}
 		ccfg := cfg
-		ccfg.CkptInterval = iv
-		ck, err := core.Inject(p, ccfg, samples, seed, w)
+		ccfg.CkptInterval, ccfg.Workers = iv, w
+		ck, err := core.InjectCtx(ctx, p, ccfg, samples, seed)
 		if err != nil {
 			return err
 		}
@@ -218,7 +252,7 @@ func writeCkptJSON(path string, p *isa.Program, cfg core.Config, samples int, se
 			Workers:   w,
 			ReplaySec: replay.Elapsed.Seconds(),
 			CkptSec:   ck.Elapsed.Seconds(),
-			Identical: sameReport(replay, ck) && formatNormalized(replay) == formatNormalized(ck),
+			Identical: sameReport(replay, ck) && inject.FormatNormalized(replay) == inject.FormatNormalized(ck),
 		}
 		if ck.Elapsed > 0 {
 			run.Speedup = replay.Elapsed.Seconds() / ck.Elapsed.Seconds()
@@ -234,14 +268,6 @@ func writeCkptJSON(path string, p *isa.Program, cfg core.Config, samples int, se
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
-}
-
-// formatNormalized renders a report with the legitimately varying fields
-// (wall clock, worker count) zeroed, for byte-for-byte comparison.
-func formatNormalized(r *inject.Report) string {
-	k := *r
-	k.Workers, k.Elapsed = 0, 0
-	return inject.FormatReport(&k)
 }
 
 // sameReport compares everything a campaign classifies — including the

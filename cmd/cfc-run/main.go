@@ -15,11 +15,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dbt"
 	"repro/internal/isa"
-	"repro/internal/obs"
 )
 
 func main() {
@@ -37,8 +37,8 @@ func main() {
 		list     = flag.Bool("list", false, "list workload names and exit")
 		jsonOut  = flag.String("json", "", "write a machine-readable run record to `file`")
 	)
-	var cli obs.CLI
-	cli.BindFlags(flag.CommandLine)
+	var app cli.App
+	app.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -65,7 +65,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fatalIf(cli.Open())
+	fatalIf(app.Open())
 
 	if *native {
 		res := core.RunNative(p, *maxSteps)
@@ -79,12 +79,12 @@ func main() {
 		if *jsonOut != "" {
 			fatalIf(writeRunJSON(*jsonOut, &rec))
 		}
-		fatalIf(cli.Close())
+		fatalIf(app.Close())
 		exitFor(res.Stop)
 		return
 	}
 
-	cfg := core.Config{Technique: *tech, Style: *style, Policy: *policy, Trace: cli.Tracer()}
+	cfg := core.Config{Technique: *tech, Style: *style, Policy: *policy, Options: app.Options()}
 	d, err := core.NewDBT(p, cfg)
 	if err != nil {
 		fatal(err)
@@ -98,7 +98,7 @@ func main() {
 		st.BlocksTranslated, st.GuestInstrsTranslated, st.TracesFormed,
 		st.CheckSites, st.Dispatches, st.IndirectLookups, res.CacheSize)
 
-	if reg := cli.Registry(); reg != nil {
+	if reg := app.Registry(); reg != nil {
 		res.Stats.Publish(reg, *tech)
 		reg.Gauge(fmt.Sprintf("dbt_code_cache_instrs{technique=%q}", *tech)).Max(int64(res.CacheSize))
 		reg.Counter(fmt.Sprintf("cpu_sig_checks_total{technique=%q}", *tech)).Add(res.SigChecks)
@@ -113,7 +113,7 @@ func main() {
 		}
 		fatalIf(writeRunJSON(*jsonOut, &rec))
 	}
-	fatalIf(cli.Close())
+	fatalIf(app.Close())
 	exitFor(res.Stop)
 }
 

@@ -1,0 +1,243 @@
+// Command cfc-serve runs the batch injection service: an HTTP API over a
+// warm-session registry, so repeated campaigns on the same configuration
+// pay the translator warm-up and the checkpoint reference recording once —
+// and, with -cache-dir, not even once per process.
+//
+//	POST /v1/campaigns   {"workload":"164.gzip","scale":0.05,"technique":"RCF",
+//	                      "style":"CMOVcc","policy":"ALLBB","ckpt_interval":-1,
+//	                      "campaigns":[{"seed":1,"samples":200}]}
+//	                     → NDJSON, one record per campaign as it completes
+//	GET  /v1/sessions    warm-session inventory
+//	GET  /metrics        Prometheus text exposition
+//	GET  /healthz        liveness
+//
+// Reports are byte-identical to the equivalent cfc-inject invocation for
+// every worker count and cache temperature. SIGINT/SIGTERM drains in-flight
+// campaigns before exiting; a second signal cancels them.
+//
+// -bench-json runs the serving benchmark instead: the same batch against a
+// cold and a warm registry over real HTTP, recording campaigns/sec for
+// each and whether the two streams matched byte for byte.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/session"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8321", "listen address")
+		cacheDir    = flag.String("cache-dir", "", "persist checkpoint logs under this directory")
+		maxSessions = flag.Int("max-sessions", 64, "warm sessions kept before LRU eviction (<=0 unbounded)")
+		benchOut    = flag.String("bench-json", "", "run the cold-vs-warm serving benchmark, write the record here, and exit")
+	)
+	var app cli.App
+	app.BindFlags(flag.CommandLine)
+	flag.Parse()
+	fatalIf(app.Open())
+
+	// The server always carries a live registry for /metrics; -metrics
+	// additionally snapshots it to a file on exit.
+	reg := app.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	registry := session.NewRegistry(session.Config{
+		CacheDir:    *cacheDir,
+		MaxSessions: *maxSessions,
+		Metrics:     reg,
+	})
+	srv := &session.Server{Registry: registry, Metrics: reg}
+
+	if *benchOut != "" {
+		fatalIf(writeBenchJSON(*benchOut, *cacheDir, app.Workers))
+		fatalIf(app.Close())
+		return
+	}
+
+	// First signal: stop accepting and drain in-flight campaigns. Second:
+	// cancel the campaigns themselves (every handler's request context is
+	// derived from runCtx via BaseContext).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runCtx, cancelRuns := context.WithCancel(context.Background())
+	defer cancelRuns()
+
+	hs := &http.Server{
+		Addr:        *addr,
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return runCtx },
+	}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "cfc-serve: listening on http://%s\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatalIf(err)
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal now cancels below
+		fmt.Fprintln(os.Stderr, "cfc-serve: draining (signal again to abort campaigns)")
+		second, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		go func() {
+			<-second.Done()
+			cancelRuns()
+		}()
+		if err := hs.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "cfc-serve: shutdown:", err)
+		}
+	}
+	fatalIf(app.Close())
+}
+
+// benchRecord is the -bench-json schema: the same batch served by a cold
+// registry (session build + recording on the first campaign) and a warm
+// one, with the byte-identity verdict across the two streams.
+type benchRecord struct {
+	Workload     string  `json:"workload"`
+	Technique    string  `json:"technique"`
+	Samples      int     `json:"samples"`
+	Campaigns    int     `json:"campaigns"`
+	CkptInterval int64   `json:"ckpt_interval"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
+	ColdSec      float64 `json:"cold_sec"`
+	WarmSec      float64 `json:"warm_sec"`
+	ColdPerSec   float64 `json:"cold_campaigns_per_sec"`
+	WarmPerSec   float64 `json:"warm_campaigns_per_sec"`
+	// Speedup is cold wall-clock over warm wall-clock: how much the warm
+	// session saves per batch. CI gates on >= 2.
+	Speedup float64 `json:"speedup"`
+	// Identical reports the cold and warm NDJSON streams matched byte for
+	// byte (elapsed_sec, the only legitimately varying field, excluded).
+	Identical bool `json:"identical"`
+}
+
+// writeBenchJSON starts a real server on a loopback port, posts the same
+// batch twice — the first pays the session build, the second rides the
+// warm session — and records both timings.
+func writeBenchJSON(path, cacheDir string, workers int) error {
+	reg := obs.NewRegistry()
+	registry := session.NewRegistry(session.Config{CacheDir: cacheDir, Metrics: reg})
+	srv := &session.Server{Registry: registry, Metrics: reg}
+	hs := &http.Server{Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	const nCampaigns, nSamples = 2, 100
+	req := session.Request{
+		Workload: "164.gzip", Scale: 0.05, Technique: "RCF", Style: "CMOVcc",
+		Policy: "ALLBB", CkptInterval: -1, Workers: workers,
+	}
+	for i := 0; i < nCampaigns; i++ {
+		req.Campaigns = append(req.Campaigns, session.SpecJSON{Seed: int64(i + 1), Samples: nSamples})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	post := func() (string, time.Duration, error) {
+		start := time.Now()
+		resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", 0, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", 0, fmt.Errorf("POST /v1/campaigns: %s: %s", resp.Status, out)
+		}
+		return string(out), time.Since(start), nil
+	}
+	coldBody, coldDur, err := post()
+	if err != nil {
+		return err
+	}
+	warmBody, warmDur, err := post()
+	if err != nil {
+		return err
+	}
+
+	rec := benchRecord{
+		Workload:     req.Workload,
+		Technique:    req.Technique,
+		Samples:      nSamples,
+		Campaigns:    nCampaigns,
+		CkptInterval: req.CkptInterval,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		ColdSec:      coldDur.Seconds(),
+		WarmSec:      warmDur.Seconds(),
+		Identical:    normalizeStream(coldBody) == normalizeStream(warmBody),
+	}
+	if coldDur > 0 {
+		rec.ColdPerSec = float64(nCampaigns) / coldDur.Seconds()
+	}
+	if warmDur > 0 {
+		rec.WarmPerSec = float64(nCampaigns) / warmDur.Seconds()
+		rec.Speedup = coldDur.Seconds() / warmDur.Seconds()
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// normalizeStream zeroes the wall-clock field of every NDJSON record so
+// the cold and warm streams compare byte for byte.
+func normalizeStream(s string) string {
+	var b bytes.Buffer
+	dec := json.NewDecoder(bytes.NewReader([]byte(s)))
+	for {
+		var rec session.RecordJSON
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return b.String()
+			}
+			return s // not a clean stream; compare raw
+		}
+		rec.ElapsedSec = 0
+		out, err := json.Marshal(rec)
+		if err != nil {
+			return s
+		}
+		b.Write(out)
+		b.WriteByte('\n')
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfc-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -12,16 +12,16 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
-	"repro/internal/obs"
 )
 
 func main() {
 	var scheme = flag.String("scheme", "", "verify one scheme (EdgCF|RCF|ECF|CFCSS|ECCA); default: all")
-	var cli obs.CLI
-	cli.BindFlags(flag.CommandLine)
+	var app cli.App
+	app.BindFlags(flag.CommandLine)
 	flag.Parse()
-	if err := cli.Open(); err != nil {
+	if err := app.Open(); err != nil {
 		fmt.Fprintln(os.Stderr, "cfc-verify:", err)
 		os.Exit(1)
 	}
@@ -31,7 +31,7 @@ func main() {
 		names = []string{*scheme}
 	}
 	for _, name := range names {
-		res, err := core.VerifySchemeObs(name, cli.Tracer(), cli.Registry())
+		res, err := core.VerifySchemeObs(name, app.Tracer(), app.Registry())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cfc-verify:", err)
 			os.Exit(1)
@@ -51,7 +51,7 @@ func main() {
 			}
 		}
 	}
-	if err := cli.Close(); err != nil {
+	if err := app.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "cfc-verify:", err)
 		os.Exit(1)
 	}

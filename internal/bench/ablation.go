@@ -143,8 +143,8 @@ func DataFlowCoverage(scale float64, samples int, seed int64, workers int, ckptI
 			}
 			rep, err := inject.Campaign(p, inject.Config{
 				Technique: c.tech, Body: c.body, RegFaults: true,
-				Samples: samples, Seed: seed, Workers: workers,
-				CkptInterval: ckptInterval,
+				Samples: samples, Seed: seed,
+				Options: inject.Options{Workers: workers, CkptInterval: ckptInterval},
 				// Data faults can wreck the stack pointer and livelock;
 				// a tight budget keeps hang detection cheap.
 				MaxSteps: 4_000_000,

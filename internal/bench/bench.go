@@ -10,16 +10,18 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dbt"
 	"repro/internal/errmodel"
 	"repro/internal/inject"
 	"repro/internal/isa"
-	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/session"
 	"repro/internal/workloads"
 
 	"repro/internal/check"
@@ -306,84 +308,59 @@ func Figure2(scale float64, workers int) (intTab, fpTab *errmodel.Table, err err
 	return intTab, fpTab, nil
 }
 
+// DefaultCoverageWorkloads is the representative int+fp subset the
+// coverage matrix runs when CoverageConfig.Workloads is nil.
+var DefaultCoverageWorkloads = []string{"164.gzip", "181.mcf", "171.swim", "183.equake"}
+
+// CoverageTechniques lists the matrix columns: the DBT techniques (CMOVcc,
+// the safe configuration) followed by the static baselines.
+var CoverageTechniques = []string{"none", "ECF", "EdgCF", "RCF", "CFCSS", "ECCA"}
+
 // CoverageConfig parameterizes the coverage matrix experiment.
 type CoverageConfig struct {
 	Scale     float64
 	Samples   int
 	Seed      int64
-	Workloads []string // nil: a representative int+fp subset
-	// Workers shards each campaign's samples (0 = GOMAXPROCS); the matrix
-	// itself is identical for every worker count.
-	Workers int
-	// Metrics and Trace forward to every campaign (both may be nil). The
-	// registry ends up holding one labeled series set per technique,
-	// accumulated over the selected workloads.
-	Metrics *obs.Registry
-	Trace   *obs.Tracer
-	// CkptInterval forwards to every campaign: 0 full replay, -1
-	// checkpoint-and-resume with an auto-sized interval, >0 an explicit
-	// interval in steps. The matrix is byte-identical either way.
-	CkptInterval int64
+	Workloads []string // nil: DefaultCoverageWorkloads
+	// Sessions routes every campaign through a warm-session registry, so
+	// each workload builds once and is shared across all six techniques
+	// (and, when the registry persists checkpoint logs, across processes).
+	// nil uses a private in-memory registry.
+	Sessions *session.Registry
+	// Options is the shared execution surface (Trace, Metrics, Workers,
+	// CkptInterval), forwarded to every campaign. The matrix itself is
+	// byte-identical for every Workers and CkptInterval value.
+	core.Options
 }
 
 // CoverageMatrix runs fault-injection campaigns for every technique
 // (including the static baselines) over the selected workloads and returns
-// one merged report per technique.
-func CoverageMatrix(cfg CoverageConfig) ([]*inject.Report, error) {
+// one merged report per technique. ctx cancels mid-matrix.
+func CoverageMatrix(ctx context.Context, cfg CoverageConfig) ([]*inject.Report, error) {
 	if cfg.Samples <= 0 {
 		cfg.Samples = 200
 	}
 	names := cfg.Workloads
 	if names == nil {
-		names = []string{"164.gzip", "181.mcf", "171.swim", "183.equake"}
+		names = DefaultCoverageWorkloads
 	}
-	var progs []*isa.Program
-	for _, n := range names {
-		prof, err := workloads.ByName(n)
-		if err != nil {
-			return nil, err
-		}
-		p, err := prof.Build(cfg.Scale)
-		if err != nil {
-			return nil, err
-		}
-		progs = append(progs, p)
+	reg := cfg.Sessions
+	if reg == nil {
+		reg = session.NewRegistry(session.Config{Metrics: cfg.Metrics})
 	}
-
+	opts := cfg.Options
 	var reports []*inject.Report
-	// DBT techniques (CMOVcc: the safe configuration).
-	for _, name := range []string{"none", "ECF", "EdgCF", "RCF"} {
-		tech, err := check.New(name, dbt.UpdateCmov)
-		if err != nil {
-			return nil, err
-		}
-		merged := &inject.Report{Technique: name, Program: "suite", ByCat: map[errmodel.Category]*inject.Agg{}}
-		for _, p := range progs {
-			r, err := inject.Campaign(p, inject.Config{
-				Technique: tech, Samples: cfg.Samples, Seed: cfg.Seed,
-				Workers: cfg.Workers, Metrics: cfg.Metrics, Trace: cfg.Trace,
-				CkptInterval: cfg.CkptInterval,
+	for _, tech := range CoverageTechniques {
+		merged := &inject.Report{Technique: tech, Program: "suite", ByCat: map[errmodel.Category]*inject.Agg{}}
+		for _, n := range names {
+			sess, err := reg.Session(ctx, session.Key{
+				Workload: n, Scale: cfg.Scale, Technique: tech,
+				Style: "CMOVcc", CkptInterval: cfg.CkptInterval,
 			})
 			if err != nil {
 				return nil, err
 			}
-			mergeReports(merged, r)
-		}
-		reports = append(reports, merged)
-	}
-	// Static baselines.
-	for _, kind := range []check.StaticKind{check.StaticCFCSS, check.StaticECCA} {
-		merged := &inject.Report{Technique: kind.String(), Program: "suite", ByCat: map[errmodel.Category]*inject.Agg{}}
-		for _, p := range progs {
-			ip, err := check.InstrumentStatic(p, kind)
-			if err != nil {
-				return nil, err
-			}
-			r, err := inject.StaticCampaign(ip, kind.String(), inject.Config{
-				Samples: cfg.Samples, Seed: cfg.Seed, Workers: cfg.Workers,
-				Metrics: cfg.Metrics, Trace: cfg.Trace,
-				CkptInterval: cfg.CkptInterval,
-			})
+			r, err := sess.Run(ctx, session.Spec{Samples: cfg.Samples, Seed: cfg.Seed}, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -157,7 +158,7 @@ func TestFigure2Shape(t *testing.T) {
 }
 
 func TestCoverageMatrixShape(t *testing.T) {
-	reports, err := CoverageMatrix(CoverageConfig{
+	reports, err := CoverageMatrix(context.Background(), CoverageConfig{
 		Scale:     0.05,
 		Samples:   120,
 		Seed:      42,

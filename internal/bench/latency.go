@@ -73,13 +73,12 @@ func PolicyLatency(scale float64, samples int, seed int64, workers int, ckptInte
 				return nil, err
 			}
 			rep, err := inject.Campaign(p, inject.Config{
-				Technique:    &check.RCF{Style: dbt.UpdateCmov},
-				Policy:       pol,
-				Samples:      samples,
-				Seed:         seed,
-				MaxSteps:     20_000_000,
-				Workers:      workers,
-				CkptInterval: ckptInterval,
+				Technique: &check.RCF{Style: dbt.UpdateCmov},
+				Policy:    pol,
+				Samples:   samples,
+				Seed:      seed,
+				MaxSteps:  20_000_000,
+				Options:   inject.Options{Workers: workers, CkptInterval: ckptInterval},
 			})
 			if err != nil {
 				return nil, err

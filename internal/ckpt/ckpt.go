@@ -1,22 +1,3 @@
-// Package ckpt implements checkpoint-and-resume acceleration for fault
-// injection campaigns. One instrumented clean reference run records
-// periodic machine checkpoints — architectural state, counters, output
-// length and a dirty-page memory delta — and every subsequent faulty run
-// restores the nearest checkpoint at or before its fault site instead of
-// re-executing the shared prefix. A campaign of N samples over a clean run
-// of S steps drops from O(N·S) to O(N·interval + S) while reproducing the
-// full-replay results bit for bit: a restored machine is exactly the
-// machine that executed the whole prefix.
-//
-// Checkpoints under the DBT are only valid while the reference run leaves
-// the shared translator state untouched. On a fully warmed snapshot the
-// only translator activity a clean run performs is indirect-branch lookup
-// servicing (a counter, no cache mutation); any structural activity —
-// dispatches, translations, trace formation, invalidation — means the
-// reference run's cache diverged from the pristine clones faulty samples
-// start from, so recording stops capturing points at that instant and the
-// points captured earlier remain valid (graceful degradation down to
-// "checkpoint 0 only", which is plain replay).
 package ckpt
 
 import (

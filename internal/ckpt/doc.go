@@ -1,0 +1,72 @@
+// Package ckpt implements checkpoint-and-resume acceleration for fault
+// injection campaigns. One instrumented clean reference run records
+// periodic machine checkpoints — architectural state, counters, output
+// length and a dirty-page memory delta — and every subsequent faulty run
+// restores the nearest checkpoint at or before its fault site instead of
+// re-executing the shared prefix. A campaign of N samples over a clean run
+// of S steps drops from O(N·S) to O(N·interval + S) while reproducing the
+// full-replay results bit for bit: a restored machine is exactly the
+// machine that executed the whole prefix.
+//
+// Checkpoints under the DBT are only valid while the reference run leaves
+// the shared translator state untouched. On a fully warmed snapshot the
+// only translator activity a clean run performs is indirect-branch lookup
+// servicing (a counter, no cache mutation); any structural activity —
+// dispatches, translations, trace formation, invalidation — means the
+// reference run's cache diverged from the pristine clones faulty samples
+// start from, so recording stops capturing points at that instant and the
+// points captured earlier remain valid (graceful degradation down to
+// "checkpoint 0 only", which is plain replay).
+//
+// # On-disk checkpoint-log format
+//
+// A recorded Log can be persisted with Log.EncodeTo and reloaded with
+// DecodeLog, so repeated campaigns on the same configuration skip the
+// reference-run recording entirely (the session registry keys these files
+// by workload, scale, technique, style, policy and interval). The format
+// is a single flat binary file, all integers little-endian:
+//
+//	offset  field
+//	0       magic: the 8 ASCII bytes "CFCKLOG1" (the trailing digit is
+//	        the format version; incompatible layout changes bump it, and
+//	        decoders reject any other magic)
+//	8       payload (below)
+//	end-4   checksum: IEEE CRC-32 of every preceding byte (magic
+//	        included); a mismatch marks the file corrupt
+//
+// The payload is a fixed field sequence with no padding:
+//
+//	fingerprint  u32 length + bytes — an opaque caller-supplied identity
+//	             string (the session cache writes its key here); DecodeLog
+//	             rejects the file as stale when it does not match
+//	interval     u64   capture spacing in machine steps
+//	memWords     u32   machine memory size in words
+//	truncated    u8    1 when recording stopped early (structural
+//	                   translator activity), else 0
+//	stop         how the reference run ended: reason u32, ip u32,
+//	             detail u32 length + bytes
+//	cacheSize    i64   code cache size at the end of the run
+//	bytes        u64   in-memory footprint estimate of the points
+//	final        machine state (layout below)
+//	finalPrefix  translator stats (layout below)
+//	output       u32 word count + that many i32 output words
+//	points       u32 point count, then per point:
+//	               state    machine state
+//	               outLen   u32 reference-output prefix length
+//	               prefix   translator stats
+//	               pages    u32 page count, then per page:
+//	                          index u32, wordCount u32, words i32 each
+//
+// A machine state is the architectural and counter snapshot, in order:
+// isa.NumRegs general registers (i32 each), flags (u8), IP (u32), then
+// the five u64 counters cycles, steps, direct branches, indirect
+// branches, signature checks. Translator stats are seven i64 fields in
+// struct order: blocks translated, guest instructions translated, traces
+// formed, dispatches, indirect lookups, invalidations, check sites.
+//
+// Decoding validates the magic, the checksum, the fingerprint and every
+// length field against the remaining input before allocating, and
+// classifies failures as ErrCorrupt (unreadable bytes) or ErrStale
+// (readable bytes recorded for a different configuration). Callers treat
+// both the same way: fall back to re-recording and overwrite the file.
+package ckpt

@@ -1,0 +1,121 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"repro/internal/dbt"
+
+	"repro/internal/check"
+)
+
+const testFingerprint = "ckpt-t|1|RCF|CMOVcc|ALLBB|-1"
+
+// recordedLogs produces one log per recorder so every encode test runs
+// against both the translator and the native (static-baseline) shape.
+func recordedLogs(t *testing.T) map[string]*Log {
+	t.Helper()
+	p := mustAssemble(t)
+	snap := warmSnapshot(t, p, dbt.Options{Technique: &check.RCF{Style: dbt.UpdateCmov}})
+	dl, err := Record(snap, 512, maxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := RecordStatic(p, 512, maxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Log{"dbt": dl, "static": sl}
+}
+
+func encode(t *testing.T, l *Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.EncodeTo(&buf, testFingerprint); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The on-disk format must round-trip every field, and a replayer over the
+// decoded log must rebuild bit-identical machine state at every point.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for name, l := range recordedLogs(t) {
+		t.Run(name, func(t *testing.T) {
+			raw := encode(t, l)
+			got, err := DecodeLog(bytes.NewReader(raw), testFingerprint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, l) {
+				t.Fatalf("decoded log differs\n got: %+v\nwant: %+v", got, l)
+			}
+			// Machine reconstruction, not just field equality: the decoded
+			// log must restore the same registers, flags, counters, memory
+			// image and output prefix at every checkpoint.
+			orig, dec := l.NewReplayer(), got.NewReplayer()
+			for k := range l.Points {
+				if !reflect.DeepEqual(dec.Machine(k), orig.Machine(k)) {
+					t.Fatalf("point %d: restored machine differs", k)
+				}
+			}
+		})
+	}
+}
+
+// Any unreadable byte stream — wrong magic, flipped bits, truncation,
+// bytes bolted onto either end — must come back as ErrCorrupt so callers
+// fall back to re-recording instead of trusting garbage.
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	l := recordedLogs(t)["dbt"]
+	raw := encode(t, l)
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     raw[:6],
+		"truncated": raw[:len(raw)/2],
+		"appended":  append(append([]byte{}, raw...), 0xde, 0xad),
+	}
+	badMagic := append([]byte{}, raw...)
+	badMagic[0] ^= 0xff
+	cases["bad magic"] = badMagic
+	flipped := append([]byte{}, raw...)
+	flipped[len(flipped)/2] ^= 0x01
+	cases["flipped byte"] = flipped
+
+	for name, b := range cases {
+		if _, err := DecodeLog(bytes.NewReader(b), testFingerprint); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// A clean decode under the wrong fingerprint is stale, not corrupt: the
+// bytes are fine but belong to a different configuration.
+func TestDecodeRejectsStaleFingerprint(t *testing.T) {
+	for name, l := range recordedLogs(t) {
+		raw := encode(t, l)
+		if _, err := DecodeLog(bytes.NewReader(raw), "other|config"); !errors.Is(err, ErrStale) {
+			t.Errorf("%s: error %v, want ErrStale", name, err)
+		}
+		if _, err := DecodeLog(bytes.NewReader(raw), testFingerprint); err != nil {
+			t.Errorf("%s: correct fingerprint rejected: %v", name, err)
+		}
+	}
+}
+
+// Interior extra bytes with a valid checksum must still be rejected (the
+// decoder demands the payload end exactly where the fields do).
+func TestDecodeRejectsTrailingPayload(t *testing.T) {
+	l := recordedLogs(t)["static"]
+	raw := encode(t, l)
+	body := append(append([]byte{}, raw[:len(raw)-4]...), 0, 0, 0, 0)
+	e := &logEncoder{buf: body}
+	e.u32(crc32.ChecksumIEEE(body))
+	if _, err := DecodeLog(bytes.NewReader(e.buf), testFingerprint); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("error %v, want ErrCorrupt", err)
+	}
+}

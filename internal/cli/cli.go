@@ -1,0 +1,50 @@
+// Package cli binds the execution-surface flags shared by every cmd/
+// tool: the observability pair (-trace, -metrics) plus the campaign knobs
+// (-workers, -ckpt-interval) that core.Options carries. Binding them in
+// one place keeps the six CLIs and cfc-serve presenting an identical
+// surface, and Options() hands the parsed result straight to any campaign
+// entry point that embeds core.Options.
+package cli
+
+import (
+	"flag"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// App is the shared CLI surface. Zero value is ready to bind; set Workers
+// or CkptInterval first to change a tool's flag defaults (cfc-inject
+// defaults -ckpt-interval to -1, everything else to 0).
+//
+// Usage mirrors obs.CLI, which App embeds: BindFlags before flag.Parse,
+// Open after it, Close on the way out.
+type App struct {
+	obs.CLI
+
+	// Workers is the parsed -workers value (0 = GOMAXPROCS).
+	Workers int
+	// CkptInterval is the parsed -ckpt-interval value (0 full replay,
+	// -1 auto-sized checkpoints, >0 explicit step interval).
+	CkptInterval int64
+}
+
+// BindFlags registers -trace, -metrics, -workers and -ckpt-interval on fs,
+// using the current field values as defaults.
+func (a *App) BindFlags(fs *flag.FlagSet) {
+	a.CLI.BindFlags(fs)
+	fs.IntVar(&a.Workers, "workers", a.Workers, "worker goroutines (0 = GOMAXPROCS)")
+	fs.Int64Var(&a.CkptInterval, "ckpt-interval", a.CkptInterval,
+		"checkpoint interval in steps (-1 auto, 0 full replay)")
+}
+
+// Options returns the parsed execution surface. Call after Open: the
+// tracer and registry are nil until then.
+func (a *App) Options() core.Options {
+	return core.Options{
+		Trace:        a.Tracer(),
+		Metrics:      a.Registry(),
+		Workers:      a.Workers,
+		CkptInterval: a.CkptInterval,
+	}
+}

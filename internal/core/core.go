@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,6 +23,12 @@ import (
 	"repro/internal/check"
 )
 
+// Options is the shared execution surface (Trace, Metrics, Workers,
+// CkptInterval) that the CLIs bind once via internal/cli and every
+// campaign entry point embeds. It is an alias of inject.Options — core
+// re-exports it so facade users never import internal/inject directly.
+type Options = inject.Options
+
 // Config selects a protection configuration by name, as the CLIs expose it.
 type Config struct {
 	// Technique: "none", "EdgCF", "RCF" or "ECF".
@@ -30,18 +37,9 @@ type Config struct {
 	Style string
 	// Policy: "ALLBB" (default), "RET-BE", "RET" or "END".
 	Policy string
-	// Trace, when non-nil, streams structured events from the translator,
-	// the machine and the injector (the CLIs' -trace flag).
-	Trace *obs.Tracer
-	// Metrics, when non-nil, receives campaign and translator metrics
-	// (the CLIs' -metrics flag).
-	Metrics *obs.Registry
-	// CkptInterval selects the injection engine: 0 replays every sample
-	// from the start, -1 checkpoints the clean run at an auto-sized step
-	// interval and resumes each sample from the nearest checkpoint, and a
-	// positive value sets that interval explicitly. Reports are
-	// byte-identical across all settings (the CLIs' -ckpt-interval flag).
-	CkptInterval int64
+	// Options is the shared execution surface (Trace, Metrics, Workers,
+	// CkptInterval), promoted so existing selector access keeps working.
+	Options
 }
 
 // ParseStyle resolves an update-style name.
@@ -151,17 +149,29 @@ func AnalyzeErrors(p *isa.Program, maxSteps uint64) (*errmodel.Table, error) {
 }
 
 // Inject runs a randomized single-fault campaign under the DBT. workers
-// shards the samples across goroutines (0 means GOMAXPROCS); the report is
-// bit-identical for every worker count.
+// shards the samples across goroutines (0 means GOMAXPROCS, overriding
+// c.Options.Workers); the report is bit-identical for every worker count.
+// It is InjectCtx with a background context — kept one release for
+// compatibility; new code calls InjectCtx.
 func Inject(p *isa.Program, c Config, samples int, seed int64, workers int) (*inject.Report, error) {
+	c.Workers = workers
+	return InjectCtx(context.Background(), p, c, samples, seed)
+}
+
+// InjectCtx runs a randomized single-fault campaign under the DBT,
+// honoring ctx for cancellation. Execution knobs (Workers, CkptInterval,
+// Trace, Metrics) come from c.Options; the report is bit-identical for
+// every worker count.
+func InjectCtx(ctx context.Context, p *isa.Program, c Config, samples int, seed int64) (*inject.Report, error) {
 	tech, pol, err := c.Resolve()
 	if err != nil {
 		return nil, err
 	}
-	return inject.Campaign(p, inject.Config{
-		Technique: tech, Policy: pol, Samples: samples, Seed: seed, Workers: workers,
-		Metrics: c.Metrics, Trace: c.Trace, CkptInterval: c.CkptInterval,
-	})
+	icfg := inject.Config{
+		Technique: tech, Policy: pol, Samples: samples, Seed: seed,
+		Options: c.Options,
+	}
+	return icfg.Run(ctx, p)
 }
 
 // VerifyScheme model-checks a technique's signature algebra against the

@@ -27,7 +27,7 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 					Technique: &check.RCF{Style: dbt.UpdateCmov},
 					Samples:   1000,
 					Seed:      1,
-					Workers:   workers,
+					Options:   Options{Workers: workers},
 				})
 				if err != nil {
 					b.Fatal(err)

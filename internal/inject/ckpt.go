@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -36,21 +37,6 @@ import (
 //     finals provide the result. Flag faults persist in the flags register
 //     and register faults in the register file, so they always run their
 //     tail.
-
-// resolveInterval maps the CkptInterval knob to a step count: positive
-// values are explicit, negative auto-sizes to ~256 checkpoints over the
-// clean run with a floor that keeps small programs from spending more on
-// captures than they save on restores.
-func resolveInterval(knob int64, cleanSteps uint64) uint64 {
-	if knob > 0 {
-		return uint64(knob)
-	}
-	iv := cleanSteps / 256
-	if iv < 512 {
-		iv = 512
-	}
-	return iv
-}
 
 // sitePoint returns the checkpoint a fault restores from: the last point
 // whose firing counter has not yet reached the fault's site.
@@ -91,14 +77,19 @@ func shortCircuitable(l *ckpt.Log, f *cpu.Fault) bool {
 }
 
 // runCkptSamples is the checkpoint engine for translated campaigns. The
-// recording run doubles as the clean reference.
-func runCkptSamples(p *isa.Program, cfg *Config, rep *Report, snap *dbt.Snapshot,
-	tech string, shards []*obs.Collector, results []sampleResult, cleanSteps uint64) error {
+// recording run doubles as the clean reference. A non-nil log is a
+// pre-recorded reference (a session-cache hit); nil records one here.
+func runCkptSamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Report, snap *dbt.Snapshot,
+	tech string, shards []*obs.Collector, results []sampleResult, cleanSteps uint64, log *ckpt.Log) error {
 	start := time.Now()
-	interval := resolveInterval(cfg.CkptInterval, cleanSteps)
-	log, err := ckpt.Record(snap, interval, cfg.MaxSteps)
-	if err != nil {
-		return fmt.Errorf("%s: %v", p.Name, err)
+	if log == nil {
+		interval := ckpt.AutoInterval(cfg.CkptInterval, cleanSteps)
+		var err error
+		log, err = ckpt.Record(snap, interval, cfg.MaxSteps)
+		if err != nil {
+			return fmt.Errorf("%s: %v", p.Name, err)
+		}
+		PublishRecording(cfg.Metrics, tech)
 	}
 	if log.Stop.Reason != cpu.StopHalt {
 		return fmt.Errorf("%s: clean run ended with %v", p.Name, log.Stop)
@@ -122,20 +113,23 @@ func runCkptSamples(p *isa.Program, cfg *Config, rep *Report, snap *dbt.Snapshot
 	order := orderBySite(points)
 	base := snap.Stats()
 	workers := rep.Workers
-	par.RunWorkers(workers, func(w int) error {
+	err := par.RunWorkersCtx(ctx, workers, func(ctx context.Context, w int) error {
 		var c *obs.Collector
 		if shards != nil {
 			c = shards[w]
 		}
 		r := log.NewReplayer()
 		for j := w; j < len(order); j += workers {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			i := order[j]
 			runCkptSample(cfg, snap, base, log, r, tech, c, faults[i], points[i], i, want, &results[i])
 		}
 		return nil
 	})
 	rep.Elapsed = time.Since(start)
-	return nil
+	return err
 }
 
 // runCkptSample classifies one fault from a checkpoint restore.
@@ -223,13 +217,17 @@ func runCkptSample(cfg *Config, snap *dbt.Snapshot, base dbt.Stats, log *ckpt.Lo
 // translator) campaigns: same restore/sort/short-circuit discipline, but
 // the machine runs guest code directly and there is no translator state
 // to credit or protect.
-func runStaticCkptSamples(p *isa.Program, g *cfg.Graph, cfgn *Config, rep *Report,
-	label string, shards []*obs.Collector, results []sampleResult, cleanSteps uint64) error {
+func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, cfgn *Config, rep *Report,
+	label string, shards []*obs.Collector, results []sampleResult, cleanSteps uint64, log *ckpt.Log) error {
 	start := time.Now()
-	interval := resolveInterval(cfgn.CkptInterval, cleanSteps)
-	log, err := ckpt.RecordStatic(p, interval, cfgn.MaxSteps)
-	if err != nil {
-		return fmt.Errorf("%s: %v", p.Name, err)
+	if log == nil {
+		interval := ckpt.AutoInterval(cfgn.CkptInterval, cleanSteps)
+		var err error
+		log, err = ckpt.RecordStatic(p, interval, cfgn.MaxSteps)
+		if err != nil {
+			return fmt.Errorf("%s: %v", p.Name, err)
+		}
+		PublishRecording(cfgn.Metrics, label)
 	}
 	if log.Stop.Reason != cpu.StopHalt {
 		return fmt.Errorf("%s: clean run ended with %v", p.Name, log.Stop)
@@ -247,13 +245,16 @@ func runStaticCkptSamples(p *isa.Program, g *cfg.Graph, cfgn *Config, rep *Repor
 	}
 	order := orderBySite(points)
 	workers := rep.Workers
-	par.RunWorkers(workers, func(w int) error {
+	err := par.RunWorkersCtx(ctx, workers, func(ctx context.Context, w int) error {
 		var c *obs.Collector
 		if shards != nil {
 			c = shards[w]
 		}
 		r := log.NewReplayer()
 		for j := w; j < len(order); j += workers {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			i := order[j]
 			f := faults[i]
 			m := r.Machine(points[i])
@@ -321,7 +322,17 @@ func runStaticCkptSamples(p *isa.Program, g *cfg.Graph, cfgn *Config, rep *Repor
 		return nil
 	})
 	rep.Elapsed = time.Since(start)
-	return nil
+	return err
+}
+
+// PublishRecording counts one reference-run recording (as opposed to a
+// cache hit that reused a persisted log). The session server's CI smoke
+// asserts this counter stays flat across a warm-cache restart.
+func PublishRecording(reg *obs.Registry, technique string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(seriesName("ckpt_recordings_total", technique)).Add(1)
 }
 
 // publishLog records the reference recording's footprint: how many points

@@ -34,7 +34,7 @@ func TestCkptCampaignMatchesReplay(t *testing.T) {
 				RegFaults:   regFaults,
 				KeepRecords: true,
 				MaxSteps:    2_000_000,
-				Workers:     1,
+				Options:     Options{Workers: 1},
 			}
 			replay, err := Campaign(p, base)
 			if err != nil {
@@ -73,7 +73,7 @@ func TestStaticCkptCampaignMatchesReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := Config{Samples: 200, Seed: 42, KeepRecords: true, Workers: 1}
+	base := Config{Samples: 200, Seed: 42, KeepRecords: true, Options: Options{Workers: 1}}
 	replay, err := StaticCampaign(ip, "CFCSS", base)
 	if err != nil {
 		t.Fatal(err)
@@ -103,13 +103,12 @@ func TestStaticCkptCampaignMatchesReplay(t *testing.T) {
 func TestCkptCampaignWorkerCountInvariance(t *testing.T) {
 	p := mustAssemble(t, workload)
 	base := Config{
-		Technique:    &check.RCF{Style: dbt.UpdateCmov},
-		Samples:      200,
-		Seed:         7,
-		KeepRecords:  true,
-		MaxSteps:     2_000_000,
-		CkptInterval: -1,
-		Workers:      1,
+		Technique:   &check.RCF{Style: dbt.UpdateCmov},
+		Samples:     200,
+		Seed:        7,
+		KeepRecords: true,
+		MaxSteps:    2_000_000,
+		Options:     Options{Workers: 1, CkptInterval: -1},
 	}
 	serial, err := Campaign(p, base)
 	if err != nil {

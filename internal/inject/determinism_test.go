@@ -71,8 +71,8 @@ func TestCampaignRecordsInSampleOrder(t *testing.T) {
 		Technique:   &check.RCF{Style: dbt.UpdateCmov},
 		Samples:     150,
 		Seed:        7,
-		Workers:     8,
 		KeepRecords: true,
+		Options:     Options{Workers: 8},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -44,3 +44,16 @@ func FormatReport(r *Report) string {
 	}
 	return b.String()
 }
+
+// FormatNormalized renders the report with the wall-clock fields zeroed:
+// everything left is a pure function of (program, cfg minus Workers and
+// CkptInterval), so two renderings are byte-identical exactly when the
+// classified results are. The determinism checks in cfc-inject and the
+// batch server's CI smoke diff this form across engines, worker counts and
+// cache temperatures.
+func FormatNormalized(r *Report) string {
+	n := *r
+	n.Workers = 0
+	n.Elapsed = 0
+	return FormatReport(&n)
+}

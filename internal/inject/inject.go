@@ -7,9 +7,11 @@
 package inject
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/cpu"
 	"repro/internal/dbt"
 	"repro/internal/errmodel"
@@ -133,25 +135,30 @@ func (r *Report) MeanLatency() float64 {
 	return float64(r.LatencySum) / float64(r.LatencyN)
 }
 
-// Config parameterizes a campaign.
-type Config struct {
-	Technique dbt.Technique // nil: plain translation
-	Policy    dbt.Policy
-	Samples   int
-	Seed      int64
-	// MaxSteps bounds each run (hang detection). Default 50M.
-	MaxSteps uint64
-	// KeepRecords retains every Record in the Report.
-	KeepRecords bool
-	// TraceThreshold forwards to the DBT options.
-	TraceThreshold int
-	// RegFaults switches the campaign to register-bit (data) faults: one
-	// bit of a random guest register flips at a random machine step. These
-	// are the faults the data-flow checking transform targets; the
-	// control-flow techniques alone mostly miss them.
-	RegFaults bool
-	// Body forwards a body transform (data-flow checking) to the DBT.
-	Body dbt.BodyTransform
+// DefaultMaxSteps bounds each injected run when Config.MaxSteps is zero
+// (hang detection).
+const DefaultMaxSteps = 50_000_000
+
+// Options is the shared execution surface of every campaign entry point:
+// the knobs selecting how work runs and is observed, as opposed to what is
+// measured. It is embedded by inject.Config, core.Config (which aliases
+// the type as core.Options) and bench.CoverageConfig, and internal/cli
+// binds it to flags once for all the cmd tools. Field access promotes
+// (cfg.Workers reads as before); keyed literals name it explicitly
+// (Config{Options: Options{Workers: 4}}).
+type Options struct {
+	// Trace, when non-nil, receives structured events (campaign
+	// start/end, fault fired, check failed, error detected, plus the
+	// translator events of every sample clone). Events from concurrent
+	// samples interleave in completion order; only metrics are
+	// deterministic across worker counts.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives campaign metrics: outcome counters,
+	// per-category detection-latency histograms, translator counters and
+	// code-cache occupancy. Samples observe into per-worker collector
+	// shards merged with commutative folds, so the exported snapshot is
+	// bit-identical for every Workers value.
+	Metrics *obs.Registry
 	// Workers shards the samples across a goroutine pool; 0 means
 	// GOMAXPROCS. Results are bit-identical for every worker count: each
 	// sample derives its fault from (Seed, index) and runs on a private
@@ -165,18 +172,40 @@ type Config struct {
 	// checkpoint before its fault site, executing only the tail. Reports
 	// are byte-identical to full replay for every Workers value.
 	CkptInterval int64
-	// Metrics, when non-nil, receives campaign metrics: outcome counters,
-	// per-category detection-latency histograms, translator counters and
-	// code-cache occupancy. Samples observe into per-worker collector
-	// shards merged with commutative folds, so the exported snapshot is
-	// bit-identical for every Workers value.
-	Metrics *obs.Registry
-	// Trace, when non-nil, receives structured events (campaign
-	// start/end, fault fired, check failed, error detected, plus the
-	// translator events of every sample clone). Events from concurrent
-	// samples interleave in completion order; only metrics are
-	// deterministic across worker counts.
-	Trace *obs.Tracer
+}
+
+// Config parameterizes a campaign.
+type Config struct {
+	Technique dbt.Technique // nil: plain translation
+	Policy    dbt.Policy
+	Samples   int
+	Seed      int64
+	// MaxSteps bounds each run (hang detection). Default DefaultMaxSteps.
+	MaxSteps uint64
+	// KeepRecords retains every Record in the Report.
+	KeepRecords bool
+	// TraceThreshold forwards to the DBT options.
+	TraceThreshold int
+	// RegFaults switches the campaign to register-bit (data) faults: one
+	// bit of a random guest register flips at a random machine step. These
+	// are the faults the data-flow checking transform targets; the
+	// control-flow techniques alone mostly miss them.
+	RegFaults bool
+	// Body forwards a body transform (data-flow checking) to the DBT.
+	Body dbt.BodyTransform
+	// Options is the shared execution surface (Trace, Metrics, Workers,
+	// CkptInterval), promoted so existing selector access keeps working.
+	Options
+}
+
+// applyDefaults fills the zero-value knobs.
+func (cfg *Config) applyDefaults() {
+	if cfg.Samples <= 0 {
+		cfg.Samples = 100
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
 }
 
 // deriveFault builds sample index's fault as a pure function of the
@@ -251,23 +280,19 @@ func (r *Report) merge(results []sampleResult, keepRecords bool) {
 // matters for pathological programs whose cache never stops churning.
 const warmRunCap = 32
 
-// Campaign injects cfg.Samples random single faults into executions of p
-// under the translator and classifies every outcome.
-//
-// The translator is warmed once (until a clean run leaves the cache fully
-// settled), snapshotted, and every sample then runs on a private clone of
-// the snapshot: a faulty run's cache mutations (chaining, wild-target
-// translations) never leak into other samples. Combined with per-index
-// fault derivation this makes the classified results a pure function of
-// (program, cfg minus Workers and CkptInterval) — Workers and the
-// checkpoint engine only change the wall-clock.
-func Campaign(p *isa.Program, cfg Config) (*Report, error) {
-	if cfg.Samples <= 0 {
-		cfg.Samples = 100
-	}
-	if cfg.MaxSteps == 0 {
-		cfg.MaxSteps = 50_000_000
-	}
+// Warm translates and stabilizes p under cfg's translator options: the
+// cache is run until a clean execution neither changes the dynamic branch
+// count nor touches translator state. Chaining turns dispatch stubs into
+// jump instructions, which are themselves fault sites, so a cold run
+// undercounts; and a snapshot that still churns on clean runs would leave
+// the checkpoint engine nothing restorable. The loop is identical for
+// every CkptInterval, so both engines share snapshot geometry — and so a
+// session-cached snapshot reproduces a fresh campaign's warm-up exactly.
+// It returns the frozen snapshot plus the final clean result, whose Steps,
+// DirectBranches and Output are the reference geometry campaigns derive
+// faults from and validate cached checkpoint logs against.
+func Warm(p *isa.Program, cfg Config) (*dbt.Snapshot, *dbt.Result, error) {
+	cfg.applyDefaults()
 	d := dbt.New(p, dbt.Options{
 		Technique:      cfg.Technique,
 		Policy:         cfg.Policy,
@@ -275,22 +300,15 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 		Body:           cfg.Body,
 		Trace:          cfg.Trace,
 	})
-
-	// Warm the cache until a clean run neither changes the dynamic branch
-	// count nor touches translator state. Chaining turns dispatch stubs
-	// into jump instructions, which are themselves fault sites, so a cold
-	// run undercounts; and a snapshot that still churns on clean runs would
-	// leave the checkpoint engine nothing restorable. The loop is identical
-	// for every CkptInterval, so both engines share snapshot geometry.
 	clean := d.Run(nil, cfg.MaxSteps)
 	if clean.Stop.Reason != cpu.StopHalt {
-		return nil, fmt.Errorf("%s: clean run ended with %v", p.Name, clean.Stop)
+		return nil, nil, fmt.Errorf("%s: clean run ended with %v", p.Name, clean.Stop)
 	}
 	for i := 0; i < warmRunCap; i++ {
 		pre := d.StatsSnapshot()
 		next := d.Run(nil, cfg.MaxSteps)
 		if next.Stop.Reason != cpu.StopHalt {
-			return nil, fmt.Errorf("%s: warm run ended with %v", p.Name, next.Stop)
+			return nil, nil, fmt.Errorf("%s: warm run ended with %v", p.Name, next.Stop)
 		}
 		stable := next.DirectBranches == clean.DirectBranches &&
 			!d.StatsSnapshot().Sub(pre).Structural()
@@ -299,7 +317,49 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 			break
 		}
 	}
+	return d.Snapshot(), clean, nil
+}
 
+// Campaign injects cfg.Samples random single faults into executions of p
+// under the translator and classifies every outcome. It is Run with a
+// background context — the pre-batch-API surface, kept one release for
+// compatibility; new code calls Config.Run.
+func Campaign(p *isa.Program, cfg Config) (*Report, error) {
+	return cfg.Run(context.Background(), p)
+}
+
+// Run warms the translator and executes the campaign, honoring ctx:
+// cancellation stops scheduling new samples (a sample already executing
+// finishes its bounded chunk first) and returns ctx.Err().
+//
+// The translator is warmed once (until a clean run leaves the cache fully
+// settled), snapshotted, and every sample then runs on a private clone of
+// the snapshot: a faulty run's cache mutations (chaining, wild-target
+// translations) never leak into other samples. Combined with per-index
+// fault derivation this makes the classified results a pure function of
+// (program, cfg minus Workers and CkptInterval) — Workers and the
+// checkpoint engine only change the wall-clock.
+func (cfg Config) Run(ctx context.Context, p *isa.Program) (*Report, error) {
+	cfg.applyDefaults()
+	snap, clean, err := Warm(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.runWarm(ctx, p, snap, clean.Steps, nil)
+}
+
+// RunWarm executes the campaign against a pre-built warm snapshot and,
+// optionally, a pre-recorded checkpoint log of its clean reference run
+// (nil records one when the checkpoint engine is selected). The session
+// registry uses it to amortize warm-up and recording across campaigns:
+// because Warm and recording are deterministic, the report is
+// byte-identical to a cold Run with the same configuration.
+func (cfg Config) RunWarm(ctx context.Context, p *isa.Program, snap *dbt.Snapshot, cleanSteps uint64, log *ckpt.Log) (*Report, error) {
+	cfg.applyDefaults()
+	return cfg.runWarm(ctx, p, snap, cleanSteps, log)
+}
+
+func (cfg Config) runWarm(ctx context.Context, p *isa.Program, snap *dbt.Snapshot, cleanSteps uint64, log *ckpt.Log) (*Report, error) {
 	tech := "none"
 	if cfg.Technique != nil {
 		tech = cfg.Technique.Name()
@@ -312,18 +372,16 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 		ByCat:     map[errmodel.Category]*Agg{},
 		Workers:   par.Workers(cfg.Workers, cfg.Samples),
 	}
-	snap := d.Snapshot()
-	base := snap.Stats()
-	rep.Translator = base // warm-up work; merge adds per-sample deltas
+	rep.Translator = snap.Stats() // warm-up work; merge adds per-sample deltas
 
 	cfg.Trace.Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: p.Name + "/" + tech})
 	shards := newShards(cfg.Metrics, rep.Workers)
 	results := make([]sampleResult, cfg.Samples)
 	var err error
 	if cfg.CkptInterval != 0 {
-		err = runCkptSamples(p, &cfg, rep, snap, tech, shards, results, clean.Steps)
+		err = runCkptSamples(ctx, p, &cfg, rep, snap, tech, shards, results, cleanSteps, log)
 	} else {
-		err = runReplaySamples(p, &cfg, rep, snap, tech, shards, results)
+		err = runReplaySamples(ctx, p, &cfg, rep, snap, tech, shards, results)
 	}
 	if err != nil {
 		return nil, err
@@ -342,7 +400,7 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 // guest from entry on a private snapshot clone. The clean reference is a
 // post-snapshot run on a clone, so both engines classify against the same
 // geometry regardless of how warm-up converged.
-func runReplaySamples(p *isa.Program, cfg *Config, rep *Report, snap *dbt.Snapshot,
+func runReplaySamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Report, snap *dbt.Snapshot,
 	tech string, shards []*obs.Collector, results []sampleResult) error {
 	start := time.Now()
 	base := snap.Stats()
@@ -356,7 +414,7 @@ func runReplaySamples(p *isa.Program, cfg *Config, rep *Report, snap *dbt.Snapsh
 	if branches == 0 {
 		return fmt.Errorf("%s: no branches to fault", p.Name)
 	}
-	par.ForEachShard(cfg.Samples, rep.Workers, func(w, i int) error {
+	err := par.ForEachShardCtx(ctx, cfg.Samples, rep.Workers, func(w, i int) error {
 		f := deriveFault(cfg, i, branches, steps)
 		sd := snap.NewDBT()
 		res := sd.Run(f, cfg.MaxSteps)
@@ -391,7 +449,7 @@ func runReplaySamples(p *isa.Program, cfg *Config, rep *Report, snap *dbt.Snapsh
 		return nil
 	})
 	rep.Elapsed = time.Since(start)
-	return nil
+	return err
 }
 
 func classifyOutcome(res *dbt.Result, want []int32) Outcome {

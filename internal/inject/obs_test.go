@@ -65,9 +65,9 @@ func TestCampaignMetricsContents(t *testing.T) {
 	p := mustAssemble(t, workload)
 	rep, err := Campaign(p, Config{
 		Technique: &check.RCF{Style: dbt.UpdateCmov},
-		Samples:   200, Seed: 1, Workers: 4,
+		Samples:   200, Seed: 1,
 		MaxSteps: 10_000_000,
-		Metrics:  reg,
+		Options:  Options{Workers: 4, Metrics: reg},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -126,9 +126,9 @@ func TestCampaignTraceEvents(t *testing.T) {
 	p := mustAssemble(t, workload)
 	rep, err := Campaign(p, Config{
 		Technique: &check.RCF{Style: dbt.UpdateCmov},
-		Samples:   100, Seed: 1, Workers: 4,
+		Samples:   100, Seed: 1,
 		MaxSteps: 10_000_000,
-		Trace:    tr,
+		Options:  Options{Workers: 4, Trace: tr},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -186,7 +186,7 @@ func TestStaticCampaignMetricsWorkerCountInvariance(t *testing.T) {
 	run := func(workers int) string {
 		reg := obs.NewRegistry()
 		if _, err := StaticCampaign(ip, "CFCSS", Config{
-			Samples: 200, Seed: 42, Workers: workers, Metrics: reg,
+			Samples: 200, Seed: 42, Options: Options{Workers: workers, Metrics: reg},
 		}); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -1,10 +1,12 @@
 package inject
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/cfg"
+	"repro/internal/ckpt"
 	"repro/internal/cpu"
 	"repro/internal/errmodel"
 	"repro/internal/isa"
@@ -13,30 +15,53 @@ import (
 )
 
 // StaticCampaign injects single faults into a program executed directly on
-// the machine (no translator) — used for the statically instrumented
-// CFCSS/ECCA baselines and for unprotected native runs. Faulty branch
-// targets are classified against the program's own CFG.
-//
-// Like Campaign, samples shard across cfgn.Workers goroutines with
-// per-index fault derivation, so the classified results are bit-identical
-// for every worker count. Native runs share nothing mutable — each sample
-// gets its own machine; the CFG is read-only after Build.
+// the machine (no translator). It is RunStatic with a background context —
+// the pre-batch-API surface, kept one release for compatibility; new code
+// calls Config.RunStatic.
 func StaticCampaign(p *isa.Program, label string, cfgn Config) (*Report, error) {
-	if cfgn.Samples <= 0 {
-		cfgn.Samples = 100
-	}
-	if cfgn.MaxSteps == 0 {
-		cfgn.MaxSteps = 50_000_000
-	}
+	return cfgn.RunStatic(context.Background(), p, label)
+}
+
+// RunStatic injects single faults into a program executed directly on the
+// machine (no translator) — used for the statically instrumented
+// CFCSS/ECCA baselines and for unprotected native runs. Faulty branch
+// targets are classified against the program's own CFG. Cancellation stops
+// scheduling new samples and returns ctx.Err().
+//
+// Like Run, samples shard across cfgn.Workers goroutines with per-index
+// fault derivation, so the classified results are bit-identical for every
+// worker count. Native runs share nothing mutable — each sample gets its
+// own machine; the CFG is read-only after Build.
+func (cfgn Config) RunStatic(ctx context.Context, p *isa.Program, label string) (*Report, error) {
+	return cfgn.RunStaticWarm(ctx, p, label, nil)
+}
+
+// RunStaticWarm is RunStatic with an optional pre-recorded checkpoint log
+// of the native clean reference run (nil records one when the checkpoint
+// engine is selected; the log is ignored otherwise). Native execution is
+// deterministic, so a cached log's finals are the clean run and the
+// reference execution is skipped entirely on a hit.
+func (cfgn Config) RunStaticWarm(ctx context.Context, p *isa.Program, label string, log *ckpt.Log) (*Report, error) {
+	cfgn.applyDefaults()
 	g := cfg.Build(p)
 
-	clean := cpu.New()
-	clean.Reset(p)
-	if stop := clean.Run(p.Code, cfgn.MaxSteps); stop.Reason != cpu.StopHalt {
-		return nil, fmt.Errorf("%s: clean run ended with %v", p.Name, stop)
+	var want []int32
+	var branches, cleanSteps uint64
+	if log != nil && cfgn.CkptInterval != 0 {
+		want = log.Output
+		branches = log.Final.DirectBranches
+		cleanSteps = log.Final.Steps
+	} else {
+		log = nil // a cached log is meaningless to the replay engine
+		clean := cpu.New()
+		clean.Reset(p)
+		if stop := clean.Run(p.Code, cfgn.MaxSteps); stop.Reason != cpu.StopHalt {
+			return nil, fmt.Errorf("%s: clean run ended with %v", p.Name, stop)
+		}
+		want = append([]int32(nil), clean.Output...)
+		branches = clean.DirectBranches
+		cleanSteps = clean.Steps
 	}
-	want := append([]int32(nil), clean.Output...)
-	branches := clean.DirectBranches
 	if branches == 0 {
 		return nil, fmt.Errorf("%s: no branches to fault", p.Name)
 	}
@@ -56,7 +81,7 @@ func StaticCampaign(p *isa.Program, label string, cfgn Config) (*Report, error) 
 		// Checkpoint engine: the native recording run doubles as the clean
 		// reference (native execution is trivially deterministic, so its
 		// geometry matches the clean run above exactly).
-		if err := runStaticCkptSamples(p, g, &cfgn, rep, label, shards, results, clean.Steps); err != nil {
+		if err := runStaticCkptSamples(ctx, p, g, &cfgn, rep, label, shards, results, cleanSteps, log); err != nil {
 			return nil, err
 		}
 		rep.merge(results, cfgn.KeepRecords)
@@ -65,7 +90,7 @@ func StaticCampaign(p *isa.Program, label string, cfgn Config) (*Report, error) 
 		return rep, nil
 	}
 	start := time.Now()
-	par.ForEachShard(cfgn.Samples, rep.Workers, func(w, i int) error {
+	err := par.ForEachShardCtx(ctx, cfgn.Samples, rep.Workers, func(w, i int) error {
 		rng := newSampleRNG(cfgn.Seed, i)
 		f := deriveBranchFault(&rng, branches)
 		m := cpu.New()
@@ -100,6 +125,9 @@ func StaticCampaign(p *isa.Program, label string, cfgn Config) (*Report, error) 
 		return nil
 	})
 	rep.Elapsed = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
 	rep.merge(results, cfgn.KeepRecords)
 	flushShards(shards, cfgn.Metrics)
 	cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignEnd, Value: int64(cfgn.Samples), Detail: p.Name + "/" + label})

@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,13 @@ func ForEach(jobs, workers int, fn func(i int) error) error {
 	return ForEachShard(jobs, workers, func(_, i int) error { return fn(i) })
 }
 
+// ForEachCtx is ForEach with cancellation: once ctx is done no further
+// jobs start, and ctx.Err() is returned (it takes precedence over job
+// errors, which a cancellation typically causes downstream).
+func ForEachCtx(ctx context.Context, jobs, workers int, fn func(i int) error) error {
+	return ForEachShardCtx(ctx, jobs, workers, func(_, i int) error { return fn(i) })
+}
+
 // RunWorkers starts one goroutine per worker index in [0, workers) and
 // runs fn(w) on each. Unlike ForEachShard there is no shared job counter:
 // the caller statically partitions the work by worker index (e.g. a
@@ -44,11 +52,27 @@ func ForEach(jobs, workers int, fn func(i int) error) error {
 // inline on the calling goroutine. The lowest-indexed worker's error is
 // returned, so the reported error does not depend on scheduling.
 func RunWorkers(workers int, fn func(w int) error) error {
+	return RunWorkersCtx(context.Background(), workers, func(_ context.Context, w int) error {
+		return fn(w)
+	})
+}
+
+// RunWorkersCtx is RunWorkers with cancellation. Each worker receives ctx
+// and is expected to poll ctx.Err() between jobs of its static partition —
+// the pool itself cannot preempt a running job. When ctx is done by the
+// time all workers return, ctx.Err() is reported in preference to worker
+// errors, so callers see the cancellation rather than its knock-on
+// failures.
+func RunWorkersCtx(ctx context.Context, workers int, fn func(ctx context.Context, w int) error) error {
 	if workers < 1 {
 		workers = 1
 	}
 	if workers == 1 {
-		return fn(0)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := fn(ctx, 0)
+		return ctxFirst(ctx, err)
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -56,16 +80,24 @@ func RunWorkers(workers int, fn func(w int) error) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = fn(w)
+			errs[w] = fn(ctx, w)
 		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return ctxFirst(ctx, err)
 		}
 	}
-	return nil
+	return ctx.Err()
+}
+
+// ctxFirst prefers the context's cancellation error over a job error.
+func ctxFirst(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
 // ForEachShard is ForEach with the worker's pool index exposed:
@@ -75,17 +107,27 @@ func RunWorkers(workers int, fn func(w int) error) error {
 // jobs land on which shard depends on scheduling; shard contents are
 // only deterministic once merged with a commutative fold.
 func ForEachShard(jobs, workers int, fn func(worker, i int) error) error {
+	return ForEachShardCtx(context.Background(), jobs, workers, fn)
+}
+
+// ForEachShardCtx is ForEachShard with cancellation: the pool stops
+// claiming jobs once ctx is done (a job already running is not
+// preempted), and ctx.Err() is returned in preference to job errors.
+func ForEachShardCtx(ctx context.Context, jobs, workers int, fn func(worker, i int) error) error {
 	if jobs <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = Workers(workers, jobs)
 	if workers == 1 {
 		for i := 0; i < jobs; i++ {
-			if err := fn(0, i); err != nil {
+			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if err := fn(0, i); err != nil {
+				return ctxFirst(ctx, err)
+			}
 		}
-		return nil
+		return ctx.Err()
 	}
 	errs := make([]error, jobs)
 	var next atomic.Int64
@@ -95,7 +137,7 @@ func ForEachShard(jobs, workers int, fn func(worker, i int) error) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1))
 				if i >= jobs {
 					return
@@ -107,8 +149,8 @@ func ForEachShard(jobs, workers int, fn func(worker, i int) error) error {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return ctxFirst(ctx, err)
 		}
 	}
-	return nil
+	return ctx.Err()
 }

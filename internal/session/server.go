@@ -1,0 +1,205 @@
+// The batch campaign API. One POST carries a session key plus a list of
+// (seed, samples) campaigns; the response streams one NDJSON record per
+// campaign as it completes, so a long batch delivers results
+// incrementally. Campaigns in a batch run sequentially (each one fans its
+// samples across the requested worker count), which keeps the stream
+// order equal to the request order.
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/obs"
+)
+
+// Server serves the batch campaign API over a warm-session registry.
+type Server struct {
+	Registry *Registry
+	// Metrics backs the /metrics endpoint and is handed to every campaign;
+	// nil disables both.
+	Metrics *obs.Registry
+	// MaxSamples rejects requests asking for absurd campaign sizes
+	// (0 = DefaultMaxSamples).
+	MaxSamples int
+}
+
+// DefaultMaxSamples bounds per-campaign sample counts accepted over HTTP.
+const DefaultMaxSamples = 1_000_000
+
+// Request is the POST /v1/campaigns body: one session key and the
+// campaigns to run on it.
+type Request struct {
+	Workload     string  `json:"workload"`
+	Scale        float64 `json:"scale"`
+	Technique    string  `json:"technique"`
+	Style        string  `json:"style"`
+	Policy       string  `json:"policy"`
+	CkptInterval int64   `json:"ckpt_interval"`
+	// Workers shards each campaign's samples (0 = GOMAXPROCS). Results
+	// are byte-identical for every value.
+	Workers   int        `json:"workers"`
+	Campaigns []SpecJSON `json:"campaigns"`
+}
+
+// SpecJSON is one campaign of a batch.
+type SpecJSON struct {
+	Seed    int64 `json:"seed"`
+	Samples int   `json:"samples"`
+}
+
+// RecordJSON is one line of the NDJSON response stream.
+type RecordJSON struct {
+	Index     int    `json:"index"`
+	Seed      int64  `json:"seed"`
+	Samples   int    `json:"samples"`
+	Program   string `json:"program,omitempty"`
+	Technique string `json:"technique,omitempty"`
+	// Error aborts the stream: the failing campaign's record is the last.
+	Error       string         `json:"error,omitempty"`
+	NotFired    int            `json:"not_fired"`
+	Totals      map[string]int `json:"totals,omitempty"`
+	Coverage    float64        `json:"coverage"`
+	MeanLatency float64        `json:"mean_latency"`
+	Workers     int            `json:"workers,omitempty"`
+	ElapsedSec  float64        `json:"elapsed_sec"`
+	// Report is the normalized rendering (worker count and wall clock
+	// zeroed): byte-identical to `cfc-inject -report-json` for the same
+	// configuration, which the CI smoke test diffs against.
+	Report string `json:"report,omitempty"`
+}
+
+// Handler returns the API mux:
+//
+//	POST /v1/campaigns   run a batch, streaming NDJSON records
+//	GET  /v1/sessions    list the warm sessions
+//	GET  /metrics        Prometheus text exposition
+//	GET  /healthz        liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessions)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
+	var body Request
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	maxSamples := s.MaxSamples
+	if maxSamples <= 0 {
+		maxSamples = DefaultMaxSamples
+	}
+	if body.Workload == "" {
+		http.Error(w, "bad request: workload required", http.StatusBadRequest)
+		return
+	}
+	if len(body.Campaigns) == 0 {
+		http.Error(w, "bad request: at least one campaign required", http.StatusBadRequest)
+		return
+	}
+	for _, c := range body.Campaigns {
+		if c.Samples < 0 || c.Samples > maxSamples {
+			http.Error(w, fmt.Sprintf("bad request: samples %d out of range [0, %d]", c.Samples, maxSamples),
+				http.StatusBadRequest)
+			return
+		}
+	}
+	k := Key{
+		Workload:     body.Workload,
+		Scale:        body.Scale,
+		Technique:    body.Technique,
+		Style:        body.Style,
+		Policy:       body.Policy,
+		CkptInterval: body.CkptInterval,
+	}
+	ctx := req.Context()
+	sess, err := s.Registry.Session(ctx, k)
+	if err != nil {
+		// The key never became a session, so this is a request problem
+		// (unknown workload/technique/policy) or a canceled client; either
+		// way the stream has not started and a plain status still works.
+		status := http.StatusBadRequest
+		if ctx.Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	opts := core.Options{Metrics: s.Metrics, Workers: body.Workers}
+	for i, c := range body.Campaigns {
+		rec := RecordJSON{Index: i, Seed: c.Seed, Samples: c.Samples}
+		rep, err := sess.Run(ctx, Spec{Samples: c.Samples, Seed: c.Seed}, opts)
+		if err != nil {
+			rec.Error = err.Error()
+		} else {
+			fillRecord(&rec, rep)
+		}
+		if encErr := enc.Encode(rec); encErr != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// fillRecord projects a report onto the wire record.
+func fillRecord(rec *RecordJSON, rep *inject.Report) {
+	rec.Program = rep.Program
+	rec.Technique = rep.Technique
+	rec.Samples = rep.Samples
+	rec.NotFired = rep.NotFired
+	rec.Coverage = rep.Totals.Coverage()
+	rec.MeanLatency = rep.MeanLatency()
+	rec.Workers = rep.Workers
+	rec.ElapsedSec = rep.Elapsed.Seconds()
+	rec.Report = inject.FormatNormalized(rep)
+	totals := map[string]int{}
+	for o := inject.Outcome(0); o < inject.NumOutcomes; o++ {
+		if n := rep.Totals.Count[o]; n > 0 {
+			totals[o.String()] = n
+		}
+	}
+	if len(totals) > 0 {
+		rec.Totals = totals
+	}
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Sessions []Info `json:"sessions"`
+	}{s.Registry.List()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.Metrics == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Metrics.Snapshot().WritePrometheus(w)
+}

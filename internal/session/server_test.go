@@ -1,0 +1,317 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/obs"
+
+	"repro/internal/check"
+)
+
+// newTestServer returns a running API server over a fresh registry plus
+// its metrics registry.
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	srv := &Server{Registry: NewRegistry(cfg), Metrics: reg}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, req Request) (int, []RecordJSON, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil, string(raw)
+	}
+	var recs []RecordJSON
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for {
+		var rec RecordJSON
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("stream is not clean NDJSON: %v\n%s", err, raw)
+		}
+		recs = append(recs, rec)
+	}
+	return resp.StatusCode, recs, string(raw)
+}
+
+// A served batch must be byte-identical to the equivalent cfc-inject run —
+// for every worker count, cold and warm.
+func TestBatchMatchesCLIByteForByte(t *testing.T) {
+	// The reference reports, computed the way cfc-inject does: a cold
+	// inject.Config.Run per (seed, samples).
+	p, err := core.Workload(testWorkload, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	style, err := core.ParseStyle("CMOVcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.ParsePolicy("ALLBB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech, err := check.New("RCF", style)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int64{3, 5}
+	want := map[int64]string{}
+	for _, seed := range seeds {
+		cfg := inject.Config{
+			Technique: tech, Policy: pol,
+			Samples: testSamples, Seed: seed,
+			Options: inject.Options{Workers: 1, CkptInterval: -1},
+		}
+		rep, err := cfg.Run(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = inject.FormatNormalized(rep)
+	}
+
+	ts, _ := newTestServer(t, Config{})
+	req := Request{
+		Workload: testWorkload, Scale: testScale,
+		Technique: "RCF", Style: "CMOVcc", Policy: "ALLBB",
+		CkptInterval: -1,
+	}
+	for _, c := range seeds {
+		req.Campaigns = append(req.Campaigns, SpecJSON{Seed: c, Samples: testSamples})
+	}
+
+	// normalize strips the only legitimately varying fields so streams
+	// compare byte for byte across worker counts and cache temperature.
+	normalize := func(recs []RecordJSON) string {
+		var b strings.Builder
+		for _, r := range recs {
+			r.ElapsedSec, r.Workers = 0, 0
+			out, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(out)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+
+	var streams []string
+	for _, workers := range []int{1, 4} {
+		req.Workers = workers
+		for _, temp := range []string{"cold", "warm"} {
+			status, recs, raw := postBatch(t, ts, req)
+			if status != http.StatusOK {
+				t.Fatalf("workers=%d %s: status %d: %s", workers, temp, status, raw)
+			}
+			if len(recs) != len(seeds) {
+				t.Fatalf("workers=%d %s: %d records, want %d", workers, temp, len(recs), len(seeds))
+			}
+			for i, rec := range recs {
+				if rec.Error != "" {
+					t.Fatalf("workers=%d %s: campaign %d failed: %s", workers, temp, i, rec.Error)
+				}
+				if rec.Seed != seeds[i] {
+					t.Errorf("workers=%d %s: record %d has seed %d, want %d", workers, temp, i, rec.Seed, seeds[i])
+				}
+				if rec.Report != want[rec.Seed] {
+					t.Errorf("workers=%d %s seed=%d: served report differs from CLI\n got: %s\nwant: %s",
+						workers, temp, rec.Seed, rec.Report, want[rec.Seed])
+				}
+			}
+			streams = append(streams, normalize(recs))
+		}
+	}
+	for i := 1; i < len(streams); i++ {
+		if streams[i] != streams[0] {
+			t.Errorf("stream %d differs from stream 0 after normalization:\n%s\nvs\n%s",
+				i, streams[i], streams[0])
+		}
+	}
+}
+
+// Malformed or out-of-range requests fail fast with 400 before any
+// campaign runs.
+func TestCampaignValidation(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := &Server{Registry: NewRegistry(Config{Metrics: reg}), Metrics: reg, MaxSamples: 100}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ok := Request{
+		Workload: testWorkload, Scale: testScale,
+		Technique: "none", Style: "CMOVcc", Policy: "ALLBB",
+		Campaigns: []SpecJSON{{Seed: 1, Samples: 10}},
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Request)
+	}{
+		{"missing workload", func(r *Request) { r.Workload = "" }},
+		{"no campaigns", func(r *Request) { r.Campaigns = nil }},
+		{"negative samples", func(r *Request) { r.Campaigns = []SpecJSON{{Seed: 1, Samples: -1}} }},
+		{"samples over max", func(r *Request) { r.Campaigns = []SpecJSON{{Seed: 1, Samples: 101}} }},
+		{"unknown workload", func(r *Request) { r.Workload = "999.nope" }},
+		{"unknown technique", func(r *Request) { r.Technique = "bogus" }},
+		{"unknown policy", func(r *Request) { r.Policy = "bogus" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := ok
+			tc.mutate(&req)
+			status, _, body := postBatch(t, ts, req)
+			if status != http.StatusBadRequest {
+				t.Errorf("status %d, want 400 (%s)", status, body)
+			}
+		})
+	}
+
+	t.Run("unknown field", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json",
+			strings.NewReader(`{"workload":"164.gzip","bogus_field":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status %d, want 400", resp.StatusCode)
+		}
+	})
+
+	t.Run("valid request still accepted", func(t *testing.T) {
+		status, recs, body := postBatch(t, ts, ok)
+		if status != http.StatusOK || len(recs) != 1 || recs[0].Error != "" {
+			t.Errorf("status %d records %v: %s", status, recs, body)
+		}
+	})
+}
+
+// The inventory and observability endpoints reflect the served work.
+func TestSessionsAndMetricsEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	req := Request{
+		Workload: testWorkload, Scale: testScale,
+		Technique: "RCF", Style: "CMOVcc", Policy: "ALLBB",
+		CkptInterval: -1,
+		Campaigns:    []SpecJSON{{Seed: 1, Samples: 10}, {Seed: 2, Samples: 10}},
+	}
+	if status, _, body := postBatch(t, ts, req); status != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", status, body)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	status, body := get("/v1/sessions")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/sessions: status %d", status)
+	}
+	var inv struct {
+		Sessions []Info `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(body), &inv); err != nil {
+		t.Fatalf("/v1/sessions: %v\n%s", err, body)
+	}
+	if len(inv.Sessions) != 1 {
+		t.Fatalf("/v1/sessions: %d sessions, want 1", len(inv.Sessions))
+	}
+	in := inv.Sessions[0]
+	if in.Workload != testWorkload || in.Technique != "RCF" || in.Campaigns != 2 {
+		t.Errorf("/v1/sessions: %+v", in)
+	}
+	if in.Points == 0 || in.CleanSteps == 0 {
+		t.Errorf("/v1/sessions: missing checkpoint geometry: %+v", in)
+	}
+
+	status, body = get("/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: status %d", status)
+	}
+	for _, series := range []string{"session_misses_total 1", "ckpt_disk_rerecords_total 1"} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics: missing %q in:\n%s", series, body)
+		}
+	}
+
+	if status, body = get("/healthz"); status != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: %d %q", status, body)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/campaigns"); err == nil {
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /v1/campaigns: status %d, want 405", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// A failing campaign mid-batch ends the stream with an error record; the
+// earlier records still arrive.
+func TestBatchStopsAtFirstError(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	req := Request{
+		Workload: testWorkload, Scale: testScale,
+		Technique: "none", Style: "CMOVcc", Policy: "ALLBB",
+		Campaigns: []SpecJSON{{Seed: 1, Samples: 5}, {Seed: 2, Samples: 5}, {Seed: 3, Samples: 5}},
+	}
+	// Cancel the request context after the first record arrives by closing
+	// the response body early — the stream just ends; nothing hangs. The
+	// cheap proxy for "stream aborts cleanly" without manufacturing an
+	// engine failure.
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The server survives the aborted client and serves the next batch.
+	if status, recs, raw := postBatch(t, ts, req); status != http.StatusOK || len(recs) != 3 {
+		t.Fatalf("after aborted client: status %d, %d records: %s", status, len(recs), raw)
+	}
+}

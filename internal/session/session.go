@@ -1,0 +1,546 @@
+// Package session implements the warm-session registry behind the batch
+// injection service: one session per (workload, scale, technique, style,
+// policy, checkpoint-interval) configuration, holding the lazily built
+// program, the warmed translator snapshot and the recorded checkpoint log
+// so that repeated campaigns pay the warm-up and reference-run cost once.
+// Checkpoint logs persist to disk in a versioned, checksummed format (see
+// internal/ckpt), so even a fresh process skips the reference recording
+// when a valid cache file exists; files are fingerprinted by the session
+// key and validated against the clean-run geometry, falling back to
+// re-recording on any mismatch.
+//
+// Warm-up, fault derivation and recording are all deterministic, so a
+// campaign served from a session is byte-identical to the same campaign
+// run cold by cfc-inject — the registry changes only where the time goes.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/check"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+	"repro/internal/inject"
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// Key identifies one warm session: everything that shapes the snapshot and
+// the checkpoint log. Campaign-level knobs (samples, seed, workers) are
+// deliberately absent — they vary per request over the same session.
+type Key struct {
+	Workload     string
+	Scale        float64
+	Technique    string
+	Style        string
+	Policy       string
+	CkptInterval int64
+}
+
+// String renders the key as the canonical fingerprint written into cache
+// files and reported by the sessions endpoint.
+func (k Key) String() string {
+	return fmt.Sprintf("%s|%g|%s|%s|%s|%d",
+		k.Workload, k.Scale, k.Technique, k.Style, k.Policy, k.CkptInterval)
+}
+
+// fileName maps the key to a cache file name: the readable fields
+// sanitized plus a hash of the exact fingerprint, so distinct keys never
+// share a file even when sanitizing collides.
+func (k Key) fileName() string {
+	s := k.String()
+	sanitized := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-':
+			return r
+		}
+		return '_'
+	}, s)
+	return fmt.Sprintf("%s_%08x.ckpt", sanitized, crc32.ChecksumIEEE([]byte(s)))
+}
+
+// Session is one warm configuration: the built (and, for the static
+// baselines, instrumented) program, the stabilized translator snapshot,
+// the clean-run geometry and — when the checkpoint engine is selected —
+// the recorded reference log.
+type Session struct {
+	Key Key
+
+	prog       *isa.Program
+	static     bool
+	tech       dbt.Technique // nil for static baselines
+	pol        dbt.Policy
+	label      string        // canonical technique label ("RCF", "CFCSS", ...)
+	snap       *dbt.Snapshot // nil for static baselines
+	cleanSteps uint64
+	log        *ckpt.Log // nil when CkptInterval == 0
+
+	// FromDisk reports that the checkpoint log was loaded from the cache
+	// directory rather than recorded by this process.
+	FromDisk bool
+
+	mu        sync.Mutex
+	campaigns int64
+}
+
+// Campaigns returns how many campaigns this session has served.
+func (s *Session) Campaigns() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns
+}
+
+// Log returns the session's checkpoint log (nil for full-replay sessions).
+func (s *Session) Log() *ckpt.Log { return s.log }
+
+// Label returns the canonical technique label campaigns report under.
+func (s *Session) Label() string { return s.label }
+
+// CleanSteps returns the length of the clean reference run in steps.
+func (s *Session) CleanSteps() uint64 { return s.cleanSteps }
+
+// Spec is one campaign request against a session.
+type Spec struct {
+	Samples int
+	Seed    int64
+}
+
+// Run executes one campaign on the warm session. opts carries the
+// per-request execution surface; its CkptInterval is overridden by the
+// session key's (the log was recorded for that interval). The report is
+// byte-identical to a cold cfc-inject run of the same configuration.
+func (s *Session) Run(ctx context.Context, spec Spec, opts core.Options) (*inject.Report, error) {
+	cfg := inject.Config{
+		Samples: spec.Samples,
+		Seed:    spec.Seed,
+		Options: opts,
+	}
+	cfg.CkptInterval = s.Key.CkptInterval
+	var rep *inject.Report
+	var err error
+	if s.static {
+		cfg.Policy = s.pol
+		rep, err = cfg.RunStaticWarm(ctx, s.prog, s.label, s.log)
+	} else {
+		cfg.Technique, cfg.Policy = s.tech, s.pol
+		rep, err = cfg.RunWarm(ctx, s.prog, s.snap, s.cleanSteps, s.log)
+	}
+	if err == nil {
+		s.mu.Lock()
+		s.campaigns++
+		s.mu.Unlock()
+	}
+	return rep, err
+}
+
+// Config parameterizes a Registry.
+type Config struct {
+	// CacheDir persists checkpoint logs across processes; "" keeps them
+	// in memory only.
+	CacheDir string
+	// MaxSessions bounds the warm set; the least recently used session is
+	// evicted when a build would exceed it. <= 0 means unbounded.
+	MaxSessions int
+	// MaxSteps bounds every clean and reference run (0 =
+	// inject.DefaultMaxSteps).
+	MaxSteps uint64
+	// Metrics, when non-nil, receives the registry's cache accounting
+	// (session_{hits,misses,evictions}_total, ckpt_disk_{hits,rerecords}_
+	// total) plus the recording counters of every build.
+	Metrics *obs.Registry
+}
+
+// Registry builds sessions on demand, deduplicates concurrent builds of
+// the same key, keeps the warm set under an LRU bound and shares program
+// builds across sessions of the same (workload, scale).
+type Registry struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[Key]*entry
+	order    []Key // LRU, least recently used first
+	programs map[progKey]*progEntry
+}
+
+type entry struct {
+	ready chan struct{} // closed when sess/err are set
+	sess  *Session
+	err   error
+}
+
+type progKey struct {
+	workload string
+	scale    float64
+}
+
+type progEntry struct {
+	ready chan struct{}
+	prog  *isa.Program
+	err   error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = inject.DefaultMaxSteps
+	}
+	return &Registry{
+		cfg:      cfg,
+		sessions: map[Key]*entry{},
+		programs: map[progKey]*progEntry{},
+	}
+}
+
+// count bumps a registry accounting counter.
+func (r *Registry) count(name string) {
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.Counter(name).Add(1)
+	}
+}
+
+// Session returns the warm session for k, building it on first use. A
+// concurrent second request for the same key waits for the in-flight
+// build instead of duplicating it. ctx bounds the wait and the build.
+func (r *Registry) Session(ctx context.Context, k Key) (*Session, error) {
+	r.mu.Lock()
+	if e, ok := r.sessions[k]; ok {
+		r.touchLocked(k)
+		r.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err == nil {
+			r.count("session_hits_total")
+		}
+		return e.sess, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	r.sessions[k] = e
+	r.order = append(r.order, k)
+	r.evictLocked()
+	r.mu.Unlock()
+	r.count("session_misses_total")
+
+	e.sess, e.err = r.build(ctx, k)
+	close(e.ready)
+	if e.err != nil {
+		// A failed build must not poison the key forever (the failure may
+		// be a canceled context).
+		r.mu.Lock()
+		if r.sessions[k] == e {
+			delete(r.sessions, k)
+			r.dropOrderLocked(k)
+		}
+		r.mu.Unlock()
+	}
+	return e.sess, e.err
+}
+
+// touchLocked moves k to the most-recently-used end.
+func (r *Registry) touchLocked(k Key) {
+	r.dropOrderLocked(k)
+	r.order = append(r.order, k)
+}
+
+func (r *Registry) dropOrderLocked(k Key) {
+	for i, o := range r.order {
+		if o == k {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked drops least-recently-used completed sessions until the warm
+// set fits the bound. In-flight builds are never evicted.
+func (r *Registry) evictLocked() {
+	if r.cfg.MaxSessions <= 0 {
+		return
+	}
+	for i := 0; len(r.sessions) > r.cfg.MaxSessions && i < len(r.order); {
+		k := r.order[i]
+		e := r.sessions[k]
+		select {
+		case <-e.ready:
+			delete(r.sessions, k)
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			r.count("session_evictions_total")
+		default:
+			i++ // in flight; try the next oldest
+		}
+	}
+}
+
+// program returns the built workload, shared across every session (and
+// technique) using the same (workload, scale).
+func (r *Registry) program(workload string, scale float64) (*isa.Program, error) {
+	pk := progKey{workload, scale}
+	r.mu.Lock()
+	pe, ok := r.programs[pk]
+	if !ok {
+		pe = &progEntry{ready: make(chan struct{})}
+		r.programs[pk] = pe
+	}
+	r.mu.Unlock()
+	if ok {
+		<-pe.ready
+		return pe.prog, pe.err
+	}
+	pe.prog, pe.err = core.Workload(workload, scale)
+	close(pe.ready)
+	if pe.err != nil {
+		r.mu.Lock()
+		if r.programs[pk] == pe {
+			delete(r.programs, pk)
+		}
+		r.mu.Unlock()
+	}
+	return pe.prog, pe.err
+}
+
+// staticKind resolves a static-baseline technique name.
+func staticKind(name string) (check.StaticKind, bool) {
+	switch strings.ToUpper(name) {
+	case "CFCSS":
+		return check.StaticCFCSS, true
+	case "ECCA":
+		return check.StaticECCA, true
+	}
+	return 0, false
+}
+
+// build constructs the session for k: program, warm snapshot (DBT) or
+// native clean run (static), and — for the checkpoint engine — the
+// reference log, from disk when a valid cache file exists.
+func (r *Registry) build(ctx context.Context, k Key) (*Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	base, err := r.program(k.Workload, k.Scale)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := core.ParsePolicy(k.Policy)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{Key: k, pol: pol}
+
+	if kind, ok := staticKind(k.Technique); ok {
+		s.static = true
+		s.label = kind.String()
+		if s.prog, err = check.InstrumentStatic(base, kind); err != nil {
+			return nil, err
+		}
+		m := cpu.New()
+		m.Reset(s.prog)
+		stop := m.Run(s.prog.Code, r.cfg.MaxSteps)
+		if stop.Reason != cpu.StopHalt {
+			return nil, fmt.Errorf("%s: clean run ended with %v", s.prog.Name, stop)
+		}
+		s.cleanSteps = m.Steps
+		if k.CkptInterval != 0 {
+			s.log, s.FromDisk, err = r.referenceLog(k, s.label, m.Steps, m.DirectBranches, m.Output,
+				func(interval uint64) (*ckpt.Log, error) {
+					return ckpt.RecordStatic(s.prog, interval, r.cfg.MaxSteps)
+				})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+
+	style, err := core.ParseStyle(k.Style)
+	if err != nil {
+		return nil, err
+	}
+	if s.tech, err = check.New(k.Technique, style); err != nil {
+		return nil, err
+	}
+	s.label = "none"
+	if s.tech != nil {
+		s.label = s.tech.Name()
+	}
+	s.prog = base
+	wcfg := inject.Config{Technique: s.tech, Policy: pol, MaxSteps: r.cfg.MaxSteps}
+	snap, clean, err := inject.Warm(base, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.snap = snap
+	s.cleanSteps = clean.Steps
+	if k.CkptInterval != 0 {
+		s.log, s.FromDisk, err = r.referenceLog(k, s.label, clean.Steps, clean.DirectBranches, clean.Output,
+			func(interval uint64) (*ckpt.Log, error) {
+				return ckpt.Record(snap, interval, r.cfg.MaxSteps)
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// referenceLog produces the session's checkpoint log: a disk hit when the
+// cache file decodes under k's fingerprint and matches the clean-run
+// geometry, otherwise a fresh recording (persisted back when a cache
+// directory is configured). record runs the engine-appropriate recorder.
+func (r *Registry) referenceLog(k Key, label string, cleanSteps, cleanBranches uint64,
+	cleanOutput []int32, record func(interval uint64) (*ckpt.Log, error)) (*ckpt.Log, bool, error) {
+	interval := ckpt.AutoInterval(k.CkptInterval, cleanSteps)
+	if l := r.loadLog(k, interval, cleanSteps, cleanBranches, cleanOutput); l != nil {
+		r.count("ckpt_disk_hits_total")
+		return l, true, nil
+	}
+	l, err := record(interval)
+	if err != nil {
+		return nil, false, err
+	}
+	if l.Stop.Reason != cpu.StopHalt {
+		return nil, false, fmt.Errorf("%s: clean run ended with %v", k.Workload, l.Stop)
+	}
+	inject.PublishRecording(r.cfg.Metrics, label)
+	r.count("ckpt_disk_rerecords_total")
+	r.saveLog(k, l)
+	return l, false, nil
+}
+
+// loadLog tries the cache file for k, validating the decode (magic,
+// checksum, fingerprint) and the geometry against the just-measured clean
+// run. Any failure returns nil: the caller re-records and overwrites.
+func (r *Registry) loadLog(k Key, interval, cleanSteps, cleanBranches uint64, cleanOutput []int32) *ckpt.Log {
+	if r.cfg.CacheDir == "" {
+		return nil
+	}
+	f, err := os.Open(filepath.Join(r.cfg.CacheDir, k.fileName()))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	l, err := ckpt.DecodeLog(f, k.String())
+	if err != nil {
+		if !errors.Is(err, ckpt.ErrStale) {
+			r.count("ckpt_disk_corrupt_total")
+		}
+		return nil
+	}
+	if !l.Complete() ||
+		l.Interval != interval ||
+		l.Final.Steps != cleanSteps ||
+		l.Final.DirectBranches != cleanBranches ||
+		len(l.Output) != len(cleanOutput) {
+		r.count("ckpt_disk_stale_total")
+		return nil
+	}
+	for i := range l.Output {
+		if l.Output[i] != cleanOutput[i] {
+			r.count("ckpt_disk_stale_total")
+			return nil
+		}
+	}
+	return l
+}
+
+// saveLog persists the recording, best effort: a full disk or read-only
+// cache directory degrades to memory-only sessions, never to an error.
+// The write goes through a temp file + rename so a crash mid-write leaves
+// either the old file or the new one, not a torn hybrid.
+func (r *Registry) saveLog(k Key, l *ckpt.Log) {
+	if r.cfg.CacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(r.cfg.CacheDir, 0o755); err != nil {
+		return
+	}
+	dst := filepath.Join(r.cfg.CacheDir, k.fileName())
+	tmp, err := os.CreateTemp(r.cfg.CacheDir, ".ckpt-*")
+	if err != nil {
+		return
+	}
+	err = l.EncodeTo(tmp, k.String())
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), dst)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Info describes one warm session for the sessions endpoint.
+type Info struct {
+	Workload     string  `json:"workload"`
+	Scale        float64 `json:"scale"`
+	Technique    string  `json:"technique"`
+	Style        string  `json:"style,omitempty"`
+	Policy       string  `json:"policy,omitempty"`
+	CkptInterval int64   `json:"ckpt_interval"`
+	Campaigns    int64   `json:"campaigns"`
+	CleanSteps   uint64  `json:"clean_steps"`
+	Points       int     `json:"ckpt_points,omitempty"`
+	LogBytes     uint64  `json:"ckpt_bytes,omitempty"`
+	FromDisk     bool    `json:"from_disk,omitempty"`
+}
+
+// List snapshots the warm set, sorted by key fingerprint so the output is
+// stable across calls and internal map order.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	var ready []*Session
+	for _, e := range r.sessions {
+		select {
+		case <-e.ready:
+			if e.err == nil && e.sess != nil {
+				ready = append(ready, e.sess)
+			}
+		default:
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(ready, func(a, b int) bool {
+		return ready[a].Key.String() < ready[b].Key.String()
+	})
+	infos := make([]Info, 0, len(ready))
+	for _, s := range ready {
+		in := Info{
+			Workload:     s.Key.Workload,
+			Scale:        s.Key.Scale,
+			Technique:    s.Key.Technique,
+			Style:        s.Key.Style,
+			Policy:       s.Key.Policy,
+			CkptInterval: s.Key.CkptInterval,
+			Campaigns:    s.Campaigns(),
+			CleanSteps:   s.cleanSteps,
+			FromDisk:     s.FromDisk,
+		}
+		if s.log != nil {
+			in.Points = len(s.log.Points)
+			in.LogBytes = s.log.Bytes
+		}
+		infos = append(infos, in)
+	}
+	return infos
+}
+
+// Len returns the number of warm (or building) sessions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
