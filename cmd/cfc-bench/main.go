@@ -15,9 +15,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/cli"
@@ -26,13 +28,19 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "which figure: 12|14|15|dbt|all")
-		scale = flag.Float64("scale", 1.0, "workload dynamic scale")
+		fig     = flag.String("fig", "all", "which figure: 12|14|15|dbt|all")
+		scale   = flag.Float64("scale", 1.0, "workload dynamic scale")
+		stepOut = flag.String("step-json", "", "run the interpreter step-throughput microbench (baseline vs predecoded) and write the record to this file")
 	)
 	app := cli.App{CkptInterval: -1}
 	app.BindFlags(flag.CommandLine)
 	flag.Parse()
 	fatalIf(app.Open())
+	if *stepOut != "" {
+		fatalIf(writeStepJSON(*stepOut, *scale))
+		fatalIf(app.Close())
+		return
+	}
 	reg := app.Registry()
 	workers, ckptIv := &app.Workers, &app.CkptInterval
 
@@ -93,6 +101,41 @@ func main() {
 	}
 	run(*fig)
 	fatalIf(app.Close())
+}
+
+// stepRecord is the -step-json schema CI gates on: the predecoded
+// interpreter must beat the per-step baseline by the committed factor with
+// a byte-identical architectural outcome.
+type stepRecord struct {
+	Workload   string  `json:"workload"`
+	Scale      float64 `json:"scale"`
+	Steps      uint64  `json:"steps"`
+	Reps       int     `json:"reps"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	RunSec     float64 `json:"run_sec"`
+	PlanSec    float64 `json:"plan_sec"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"identical"`
+}
+
+func writeStepJSON(path string, scale float64) error {
+	r, err := bench.StepThroughput("164.gzip", scale, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatStep(r))
+	rec := stepRecord{
+		Workload: r.Workload, Scale: scale, Steps: r.Steps, Reps: r.Reps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		RunSec: r.RunSec, PlanSec: r.PlanSec,
+		Speedup: r.Speedup, Identical: r.Identical,
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // minF caps the campaign scale: fault injection runs the program once per

@@ -53,6 +53,8 @@ func main() {
 			"write a checkpoint-vs-replay engine benchmark record to this file")
 		reportOut = flag.String("report-json", "",
 			"write the normalized campaign report (JSON) to this file")
+		scaleOut = flag.String("scale-json", "",
+			"write a worker-scaling benchmark record (checkpoint engine at 1..N workers) to this file")
 	)
 	app := cli.App{CkptInterval: -1}
 	app.BindFlags(flag.CommandLine)
@@ -87,6 +89,9 @@ func main() {
 	if *ckptOut != "" {
 		fatalIf(writeCkptJSON(ctx, *ckptOut, p, cfg, *samples, *seed))
 	}
+	if *scaleOut != "" {
+		fatalIf(writeScaleJSON(ctx, *scaleOut, p, cfg, *samples, *seed))
+	}
 
 	cfg.Options = app.Options()
 	rep, err := core.InjectCtx(ctx, p, cfg, *samples, *seed)
@@ -106,6 +111,12 @@ type reportRecord struct {
 	Technique string `json:"technique"`
 	Samples   int    `json:"samples"`
 	NotFired  int    `json:"not_fired"`
+	// Engine telemetry: samples whose tails executed vs were synthesized
+	// (offset not-taken vs liveness-pruned families). Mirrors the batch
+	// server's NDJSON fields; excluded from the normalized Report.
+	Executed    int `json:"executed,omitempty"`
+	ShortOffset int `json:"short_offset,omitempty"`
+	ShortLive   int `json:"short_live,omitempty"`
 	// Report is the FormatNormalized rendering: byte-identical to the
 	// server stream's "report" field for the same configuration.
 	Report string `json:"report"`
@@ -113,11 +124,14 @@ type reportRecord struct {
 
 func writeReportJSON(path string, rep *inject.Report) error {
 	out, err := json.MarshalIndent(reportRecord{
-		Workload:  rep.Program,
-		Technique: rep.Technique,
-		Samples:   rep.Samples,
-		NotFired:  rep.NotFired,
-		Report:    inject.FormatNormalized(rep),
+		Workload:    rep.Program,
+		Technique:   rep.Technique,
+		Samples:     rep.Samples,
+		NotFired:    rep.NotFired,
+		Executed:    rep.Executed,
+		ShortOffset: rep.ShortOffset,
+		ShortLive:   rep.ShortLive,
+		Report:      inject.FormatNormalized(rep),
 	}, "", "  ")
 	if err != nil {
 		return err
@@ -259,6 +273,93 @@ func writeCkptJSON(ctx context.Context, path string, p *isa.Program, cfg core.Co
 		}
 		if w == 1 {
 			rec.Speedup = run.Speedup
+		}
+		rec.Identical = rec.Identical && run.Identical
+		rec.Runs = append(rec.Runs, run)
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// scaleRecord is the schema of the -scale-json output: the replay engine
+// at one worker as the baseline, then the checkpoint engine at growing
+// worker counts, so the record shows worker scaling composing with
+// checkpoint amortization (total = replay_1w / ckpt_Nw).
+type scaleRecord struct {
+	Workload      string     `json:"workload"`
+	Technique     string     `json:"technique"`
+	Samples       int        `json:"samples"`
+	Seed          int64      `json:"seed"`
+	CkptInterval  int64      `json:"ckpt_interval"`
+	GOMAXPROCS    int        `json:"gomaxprocs"`
+	NumCPU        int        `json:"num_cpu"`
+	ReplaySec     float64    `json:"replay_sec"` // replay engine, 1 worker
+	Runs          []scaleRun `json:"runs"`
+	// BestSpeedup is the largest composed factor observed across the
+	// worker sweep.
+	BestSpeedup float64 `json:"best_speedup"`
+	Identical   bool    `json:"identical"`
+}
+
+type scaleRun struct {
+	Workers int     `json:"workers"`
+	CkptSec float64 `json:"ckpt_sec"`
+	// Speedup is composed: serial replay wall-clock over this run's
+	// wall-clock (engine gain x worker scaling).
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+// writeScaleJSON sweeps the checkpoint engine across worker counts against
+// a single-worker full-replay baseline, verifying byte-identity at every
+// point. The sweep stops at min(8, NumCPU) workers — beyond the core count
+// the sharding only adds scheduling noise.
+func writeScaleJSON(ctx context.Context, path string, p *isa.Program, cfg core.Config, samples int, seed int64) error {
+	iv := cfg.CkptInterval
+	if iv == 0 {
+		iv = -1
+	}
+	rcfg := cfg
+	rcfg.CkptInterval, rcfg.Workers = 0, 1
+	replay, err := core.InjectCtx(ctx, p, rcfg, samples, seed)
+	if err != nil {
+		return err
+	}
+	rec := scaleRecord{
+		Workload:     p.Name,
+		Technique:    cfg.Technique,
+		Samples:      samples,
+		Seed:         seed,
+		CkptInterval: iv,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		ReplaySec:    replay.Elapsed.Seconds(),
+		Identical:    true,
+	}
+	maxWorkers := runtime.NumCPU()
+	if maxWorkers > 8 {
+		maxWorkers = 8
+	}
+	for w := 1; w <= maxWorkers; w *= 2 {
+		ccfg := cfg
+		ccfg.CkptInterval, ccfg.Workers = iv, w
+		ck, err := core.InjectCtx(ctx, p, ccfg, samples, seed)
+		if err != nil {
+			return err
+		}
+		run := scaleRun{
+			Workers:   w,
+			CkptSec:   ck.Elapsed.Seconds(),
+			Identical: sameReport(replay, ck) && inject.FormatNormalized(replay) == inject.FormatNormalized(ck),
+		}
+		if ck.Elapsed > 0 {
+			run.Speedup = replay.Elapsed.Seconds() / ck.Elapsed.Seconds()
+		}
+		if run.Speedup > rec.BestSpeedup {
+			rec.BestSpeedup = run.Speedup
 		}
 		rec.Identical = rec.Identical && run.Identical
 		rec.Runs = append(rec.Runs, run)

@@ -328,8 +328,10 @@ type CoverageConfig struct {
 	// nil uses a private in-memory registry.
 	Sessions *session.Registry
 	// Options is the shared execution surface (Trace, Metrics, Workers,
-	// CkptInterval), forwarded to every campaign. The matrix itself is
-	// byte-identical for every Workers and CkptInterval value.
+	// CkptInterval), forwarded to every campaign. The classified matrix is
+	// byte-identical for every Workers and CkptInterval value; only the
+	// engine-telemetry footer (executed vs short-circuited samples) reflects
+	// which engine ran.
 	core.Options
 }
 
@@ -378,6 +380,9 @@ func mergeReports(dst, src *inject.Report) {
 	dst.LatencyN += src.LatencyN
 	dst.Elapsed += src.Elapsed
 	dst.Workers = src.Workers
+	dst.Executed += src.Executed
+	dst.ShortOffset += src.ShortOffset
+	dst.ShortLive += src.ShortLive
 	dst.Translator.Add(src.Translator)
 	for c, a := range src.ByCat {
 		da := dst.ByCat[c]

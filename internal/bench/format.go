@@ -98,5 +98,15 @@ func FormatCoverageMatrix(reports []*inject.Report) string {
 		}
 		fmt.Fprintf(&b, " %6.1f%% %6d\n", r.Totals.Coverage()*100, r.Totals.Count[inject.OutSDC])
 	}
+	var exec, short, live int
+	for _, r := range reports {
+		exec += r.Executed
+		short += r.ShortOffset
+		live += r.ShortLive
+	}
+	if short+live > 0 {
+		fmt.Fprintf(&b, "engine: %d executed, %d offset short-circuits, %d liveness-pruned\n",
+			exec, short, live)
+	}
 	return b.String()
 }

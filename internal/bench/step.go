@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/workloads"
+)
+
+// StepResult reports the predecoded hot loop (RunPlan) against the
+// baseline per-step interpreter (Run) on one workload: best-of-reps
+// wall-clock for each, the composed speedup, and an identity verdict
+// over the full architectural outcome.
+type StepResult struct {
+	Workload  string
+	Steps     uint64 // guest instructions retired per run
+	Reps      int
+	RunSec    float64 // baseline interpreter, best rep
+	PlanSec   float64 // predecoded plan, best rep
+	Speedup   float64 // RunSec / PlanSec
+	Identical bool    // counters, registers, flags and output all match
+}
+
+// StepThroughput measures raw interpreter step throughput with and
+// without the predecoded execution plan. Both engines run the same
+// program to completion reps times; the best (minimum) wall-clock per
+// engine is kept, the usual microbenchmark discipline for spotting the
+// noise floor. The identity verdict compares final registers, flags,
+// IP, step/cycle/branch counters and output — the plan must be a pure
+// performance transform.
+func StepThroughput(workload string, scale float64, reps int) (*StepResult, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	prof, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	p, err := prof.Build(scale)
+	if err != nil {
+		return nil, err
+	}
+
+	type outcome struct {
+		stop    cpu.Stop
+		regs    [isa.NumRegs]int32
+		flags   isa.Flags
+		ip      uint32
+		steps   uint64
+		cycles  uint64
+		direct  uint64
+		outLen  int
+		outLast int32
+	}
+	capture := func(m *cpu.Machine, stop cpu.Stop) outcome {
+		o := outcome{
+			stop: stop, regs: m.Regs, flags: m.Flags, ip: m.IP,
+			steps: m.Steps, cycles: m.Cycles, direct: m.DirectBranches,
+			outLen: len(m.Output),
+		}
+		if o.outLen > 0 {
+			o.outLast = m.Output[o.outLen-1]
+		}
+		return o
+	}
+
+	res := &StepResult{Workload: p.Name, Reps: reps}
+	var runOut, planOut outcome
+	plan := cpu.NewPlan(p.Code, nil)
+	for rep := 0; rep < reps; rep++ {
+		m := cpu.New()
+		m.Reset(p)
+		start := time.Now()
+		stop := m.Run(p.Code, DefaultMaxSteps)
+		sec := time.Since(start).Seconds()
+		if stop.Reason != cpu.StopHalt {
+			return nil, fmt.Errorf("%s: baseline run ended with %v", p.Name, stop)
+		}
+		if rep == 0 || sec < res.RunSec {
+			res.RunSec = sec
+		}
+		runOut = capture(m, stop)
+
+		m = cpu.New()
+		m.Reset(p)
+		start = time.Now()
+		stop = m.RunPlan(&plan, DefaultMaxSteps)
+		sec = time.Since(start).Seconds()
+		if stop.Reason != cpu.StopHalt {
+			return nil, fmt.Errorf("%s: plan run ended with %v", p.Name, stop)
+		}
+		if rep == 0 || sec < res.PlanSec {
+			res.PlanSec = sec
+		}
+		planOut = capture(m, stop)
+	}
+	res.Steps = planOut.steps
+	res.Identical = runOut == planOut
+	if res.PlanSec > 0 {
+		res.Speedup = res.RunSec / res.PlanSec
+	}
+	return res, nil
+}
+
+// FormatStep renders the step-throughput comparison.
+func FormatStep(r *StepResult) string {
+	mips := func(sec float64) float64 {
+		if sec <= 0 {
+			return 0
+		}
+		return float64(r.Steps) / sec / 1e6
+	}
+	return fmt.Sprintf(
+		"Interpreter step throughput — %s (%d guest instrs, best of %d)\n"+
+			"%-12s %10.4fs %8.1f Minstr/s\n"+
+			"%-12s %10.4fs %8.1f Minstr/s\n"+
+			"speedup: %.2fx, identical: %v\n",
+		r.Workload, r.Steps, r.Reps,
+		"baseline", r.RunSec, mips(r.RunSec),
+		"predecoded", r.PlanSec, mips(r.PlanSec),
+		r.Speedup, r.Identical)
+}

@@ -151,6 +151,7 @@ func RecordStatic(p *isa.Program, interval, maxSteps uint64) (*Log, error) {
 	}
 	m := cpu.New()
 	m.Reset(p)
+	plan := cpu.NewPlan(p.Code, nil)
 	l := &Log{Interval: interval}
 	l.capture(m, dbt.Stats{})
 	for {
@@ -158,7 +159,7 @@ func RecordStatic(p *isa.Program, interval, maxSteps uint64) (*Log, error) {
 		if target > maxSteps {
 			target = maxSteps
 		}
-		stop := m.Run(p.Code, target)
+		stop := m.RunPlan(&plan, target)
 		if stop.Reason != cpu.StopOutOfSteps || target >= maxSteps {
 			l.finish(m, stop, dbt.Stats{}, 0)
 			return l, nil

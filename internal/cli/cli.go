@@ -1,13 +1,18 @@
 // Package cli binds the execution-surface flags shared by every cmd/
-// tool: the observability pair (-trace, -metrics) plus the campaign knobs
-// (-workers, -ckpt-interval) that core.Options carries. Binding them in
-// one place keeps the six CLIs and cfc-serve presenting an identical
-// surface, and Options() hands the parsed result straight to any campaign
-// entry point that embeds core.Options.
+// tool: the observability pair (-trace, -metrics), the profiling pair
+// (-cpuprofile, -memprofile) and the campaign knobs (-workers,
+// -ckpt-interval) that core.Options carries. Binding them in one place
+// keeps the six CLIs and cfc-serve presenting an identical surface, and
+// Options() hands the parsed result straight to any campaign entry point
+// that embeds core.Options.
 package cli
 
 import (
 	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -27,15 +32,78 @@ type App struct {
 	// CkptInterval is the parsed -ckpt-interval value (0 full replay,
 	// -1 auto-sized checkpoints, >0 explicit step interval).
 	CkptInterval int64
+	// CPUProfile / MemProfile are the parsed pprof output paths; empty
+	// disables the respective profile.
+	CPUProfile string
+	MemProfile string
+
+	cpuFile *os.File
 }
 
-// BindFlags registers -trace, -metrics, -workers and -ckpt-interval on fs,
-// using the current field values as defaults.
+// BindFlags registers -trace, -metrics, -cpuprofile, -memprofile, -workers
+// and -ckpt-interval on fs, using the current field values as defaults.
 func (a *App) BindFlags(fs *flag.FlagSet) {
 	a.CLI.BindFlags(fs)
 	fs.IntVar(&a.Workers, "workers", a.Workers, "worker goroutines (0 = GOMAXPROCS)")
 	fs.Int64Var(&a.CkptInterval, "ckpt-interval", a.CkptInterval,
 		"checkpoint interval in steps (-1 auto, 0 full replay)")
+	fs.StringVar(&a.CPUProfile, "cpuprofile", a.CPUProfile, "write a pprof CPU profile to `file`")
+	fs.StringVar(&a.MemProfile, "memprofile", a.MemProfile, "write a pprof heap profile to `file` on exit")
+}
+
+// Open materializes the observability sinks and, when -cpuprofile was
+// given, starts CPU profiling. It shadows the embedded obs.CLI.Open so
+// every tool picks the profiling surface up for free.
+func (a *App) Open() error {
+	if err := a.CLI.Open(); err != nil {
+		return err
+	}
+	if a.CPUProfile != "" {
+		f, err := os.Create(a.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("open cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("start cpuprofile: %w", err)
+		}
+		a.cpuFile = f
+	}
+	return nil
+}
+
+// Close stops the CPU profile, writes the heap profile if requested, and
+// flushes the observability sinks.
+func (a *App) Close() error {
+	var first error
+	if a.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := a.cpuFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("cpuprofile: %w", err)
+		}
+		a.cpuFile = nil
+	}
+	if a.MemProfile != "" {
+		f, err := os.Create(a.MemProfile)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("open memprofile: %w", err)
+			}
+		} else {
+			runtime.GC() // settle live-heap accounting before the snapshot
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil && first == nil {
+				first = fmt.Errorf("memprofile: %w", err)
+			}
+		}
+	}
+	if err := a.CLI.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // Options returns the parsed execution surface. Call after Open: the

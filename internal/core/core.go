@@ -112,11 +112,13 @@ type NativeResult struct {
 	Output []int32
 }
 
-// RunNative executes a program directly on the simulated machine.
+// RunNative executes a program directly on the simulated machine (through
+// the predecoded plan — native runs are always fault-free).
 func RunNative(p *isa.Program, maxSteps uint64) *NativeResult {
 	m := cpu.New()
 	m.Reset(p)
-	stop := m.Run(p.Code, maxSteps)
+	plan := cpu.NewPlan(p.Code, m.Costs)
+	stop := m.RunPlan(&plan, maxSteps)
 	return &NativeResult{
 		Stop:   stop,
 		Cycles: m.Cycles,

@@ -1,0 +1,204 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// runBoth executes the same program twice — reference Step loop and
+// predecoded RunPlan — and requires bit-identical final machine state.
+func runBoth(t *testing.T, p *isa.Program, maxSteps uint64, fault *Fault) (*Machine, Stop) {
+	t.Helper()
+	ref := New()
+	ref.Reset(p)
+	if fault != nil {
+		f := *fault
+		ref.Fault = &f
+	}
+	refStop := ref.Run(p.Code, maxSteps)
+
+	m := New()
+	m.Reset(p)
+	if fault != nil {
+		f := *fault
+		m.Fault = &f
+	}
+	plan := NewPlan(p.Code, m.Costs)
+	stop := m.RunPlan(&plan, maxSteps)
+
+	if stop != refStop {
+		t.Fatalf("stop = %v, reference = %v", stop, refStop)
+	}
+	if ref.Regs != m.Regs || ref.Flags != m.Flags || ref.IP != m.IP ||
+		ref.Steps != m.Steps || ref.Cycles != m.Cycles ||
+		ref.DirectBranches != m.DirectBranches ||
+		ref.IndirectBranches != m.IndirectBranches ||
+		ref.SigChecks != m.SigChecks {
+		t.Fatalf("state diverged:\nref  %+v\nplan %+v", ref.CaptureState(), m.CaptureState())
+	}
+	if !reflect.DeepEqual(ref.Output, m.Output) {
+		t.Fatalf("output diverged: ref %v plan %v", ref.Output, m.Output)
+	}
+	if (ref.Fault == nil) != (m.Fault == nil) {
+		t.Fatal("fault presence diverged")
+	}
+	if ref.Fault != nil && *ref.Fault != *m.Fault {
+		t.Fatalf("fault record diverged:\nref  %+v\nplan %+v", *ref.Fault, *m.Fault)
+	}
+	return m, stop
+}
+
+const planWorkload = `
+main:
+    movi eax, 0
+    movi ecx, 12
+    movi esi, 3
+loop:
+    add eax, ecx
+    push ecx
+    call double
+    pop ecx
+    subi ecx, 1
+    cmpi ecx, 0
+    jgt loop
+    fadd edx, esi
+    cmoveq ebx, eax
+    out eax
+    halt
+double:
+    movi ebx, 2
+    mul ebx, ebx
+    out ebx
+    ret
+`
+
+func planProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	return mustAssemble(t, planWorkload)
+}
+
+func TestRunPlanMatchesRun(t *testing.T) {
+	p := planProgram(t)
+	_, stop := runBoth(t, p, 1_000_000, nil)
+	if stop.Reason != StopHalt {
+		t.Fatalf("stop = %v, want halt", stop)
+	}
+}
+
+func TestRunPlanOutOfSteps(t *testing.T) {
+	p := planProgram(t)
+	for _, budget := range []uint64{0, 1, 2, 3, 5, 7, 11, 17, 23, 40} {
+		runBoth(t, p, budget, nil)
+	}
+}
+
+func TestRunPlanBranchFaults(t *testing.T) {
+	p := planProgram(t)
+	for _, kind := range []FaultKind{FaultOffsetBit, FaultFlagBit} {
+		for idx := uint64(0); idx < 30; idx++ {
+			for _, bit := range []uint{0, 1, 3, 7, 31} {
+				runBoth(t, p, 10_000, &Fault{Kind: kind, BranchIndex: idx, Bit: bit})
+			}
+		}
+	}
+}
+
+func TestRunPlanRegFaults(t *testing.T) {
+	p := planProgram(t)
+	for step := uint64(0); step < 120; step += 7 {
+		for _, reg := range []isa.Reg{isa.EAX, isa.ECX, isa.ESP} {
+			runBoth(t, p, 10_000, &Fault{Kind: FaultRegBit, StepIndex: step, Reg: reg, Bit: 5})
+		}
+	}
+}
+
+// Resuming a plan run in chunks must agree with one uninterrupted run, the
+// way checkpoint tails re-enter the interpreter mid-program.
+func TestRunPlanChunkedResume(t *testing.T) {
+	p := planProgram(t)
+	ref := New()
+	ref.Reset(p)
+	refStop := ref.Run(p.Code, 1_000_000)
+
+	m := New()
+	m.Reset(p)
+	plan := NewPlan(p.Code, m.Costs)
+	var stop Stop
+	for {
+		stop = m.RunPlan(&plan, m.Steps+5)
+		if stop.Reason != StopOutOfSteps {
+			break
+		}
+	}
+	if stop != refStop {
+		t.Fatalf("stop = %v, reference = %v", stop, refStop)
+	}
+	if ref.CaptureState() != m.CaptureState() {
+		t.Fatalf("state diverged:\nref  %+v\nplan %+v", ref.CaptureState(), m.CaptureState())
+	}
+}
+
+func TestPlanSyncAndRedecode(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.OpNop},
+		{Op: isa.OpTrapOut},
+	}
+	plan := NewPlan(code, nil)
+	if plan.Len() != 2 || !plan.IsTerminator(1) || plan.IsDirectBranch(1) {
+		t.Fatalf("initial decode wrong: len=%d", plan.Len())
+	}
+
+	clone := plan.Clone()
+	// Patch the trapout to a jmp (the DBT's chain patch) in the clone only.
+	code2 := append([]isa.Instr(nil), code...)
+	code2[1] = isa.Instr{Op: isa.OpJmp, Imm: -2}
+	clone.Sync(code2)
+	clone.Redecode(1)
+	if !clone.IsDirectBranch(1) {
+		t.Error("clone did not redecode the patched slot")
+	}
+	if plan.IsDirectBranch(1) {
+		t.Error("redecoding a clone mutated the shared metadata")
+	}
+
+	// Growing after Clone must also leave the parent untouched.
+	code3 := append(append([]isa.Instr(nil), code...), isa.Instr{Op: isa.OpHalt})
+	grown := plan.Clone()
+	grown.Sync(code3)
+	if grown.Len() != 3 || !grown.IsTerminator(2) {
+		t.Errorf("grown clone len=%d", grown.Len())
+	}
+	if plan.Len() != 2 {
+		t.Errorf("parent len changed to %d", plan.Len())
+	}
+
+	// Shrinking (cache invalidation) rebuilds.
+	shrunk := plan.Clone()
+	shrunk.Sync(code[:1])
+	if shrunk.Len() != 1 || shrunk.IsTerminator(1) {
+		t.Errorf("shrunk len=%d", shrunk.Len())
+	}
+}
+
+// The hot loop must not allocate: one fixed-size span over a self-loop,
+// measured per interpreted step.
+func TestRunSpanZeroAllocs(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.OpAddI, RD: isa.EAX, Imm: 1},
+		{Op: isa.OpJmp, Imm: -2},
+	}
+	m := New()
+	m.Mem = nil // the loop touches no memory
+	plan := NewPlan(code, m.Costs)
+	allocs := testing.AllocsPerRun(100, func() {
+		stop := m.RunPlan(&plan, m.Steps+1024)
+		if stop.Reason != StopOutOfSteps {
+			t.Fatalf("stop = %v", stop)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RunPlan allocates %.1f times per 1024-step span, want 0", allocs)
+	}
+}

@@ -170,6 +170,11 @@ type DBT struct {
 	tlist      []*TBlock // cache order
 	stubs      []stub
 
+	// plan is the predecoded execution plan over the code cache, kept in
+	// lockstep with it: synced before every interpreter entry, re-decoded
+	// at chain-patched slots, shared copy-on-write between snapshot clones.
+	plan cpu.Plan
+
 	// pendingCycles accrues translation cost until the next time the
 	// machine is available to charge it.
 	pendingCycles uint64
@@ -193,6 +198,7 @@ func New(p *isa.Program, opts Options) *DBT {
 		opts:   opts,
 		tech:   opts.Technique,
 		blocks: make(map[uint32]*TBlock),
+		plan:   cpu.NewPlan(nil, opts.Costs),
 	}
 }
 
@@ -269,7 +275,8 @@ func (d *DBT) Resume(m *cpu.Machine, prefix Stats) {
 // checkpoint recorder uses this to pause at capture points).
 func (d *DBT) Advance(m *cpu.Machine, maxSteps uint64) cpu.Stop {
 	for {
-		stop := m.Run(d.cache, maxSteps)
+		d.plan.Sync(d.cache)
+		stop := m.RunPlan(&d.plan, maxSteps)
 		if stop.Reason != cpu.StopTrapOut {
 			return stop
 		}
@@ -324,6 +331,11 @@ func (d *DBT) Advance(m *cpu.Machine, maxSteps uint64) cpu.Stop {
 			// reached through a branch, re-point the branch itself so the
 			// chained transfer costs nothing extra.
 			d.cache[s.slot] = isa.Instr{Op: isa.OpJmp, Imm: isa.OffsetFor(s.slot, tb.CacheStart)}
+			// The patch changes the slot's opcode (trapout -> jmp), so its
+			// predecoded metadata must follow; the referrer patch below is
+			// immediate-only and needs none.
+			d.plan.Sync(d.cache)
+			d.plan.Redecode(s.slot)
 			if s.referrer != noReferrer {
 				d.cache[s.referrer].Imm = isa.OffsetFor(s.referrer, tb.CacheStart)
 			}
@@ -563,6 +575,7 @@ func (d *DBT) Invalidate() {
 	d.snapBlocks = nil
 	d.tlist = nil
 	d.stubs = nil
+	d.plan.Sync(nil)
 	d.stats.Invalidations++
 }
 

@@ -1,6 +1,12 @@
 package dbt
 
-import "repro/internal/isa"
+import (
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/live"
+)
 
 // Snapshot is a frozen copy of a translator's warm state: the code cache,
 // the guest-to-translation map, the cache-ordered block list, the chaining
@@ -27,6 +33,14 @@ type Snapshot struct {
 	stubs         []stub
 	pendingCycles uint64
 	stats         Stats
+
+	// plan is the fully decoded execution plan over the snapshot cache,
+	// built once at capture and shared copy-on-write by every clone; it is
+	// never mutated through the snapshot itself.
+	plan cpu.Plan
+
+	liveOnce sync.Once
+	liveInfo *live.Info
 }
 
 // Snapshot captures the translator's current state. Call it between Run
@@ -41,6 +55,7 @@ func (d *DBT) Snapshot() *Snapshot {
 		pendingCycles: d.pendingCycles,
 		stats:         d.stats,
 	}
+	s.plan = cpu.NewPlan(s.cache, d.opts.Costs)
 	if d.blocks == nil {
 		// The clone never materialized a private map; the shared one is
 		// already immutable and can be adopted as-is.
@@ -62,6 +77,17 @@ func (s *Snapshot) CacheLen() int { return len(s.cache) }
 // sample's own translation work.
 func (s *Snapshot) Stats() Stats { return s.stats }
 
+// Liveness returns flag/register liveness over the snapshot's code cache,
+// computed lazily once and shared by all samples. It is valid for any run
+// primed from this snapshot that does no new translation: the checkpoint
+// engine only consults it for samples whose clean run is non-structural,
+// which guarantees the cache image the fault executes over is exactly the
+// analyzed one.
+func (s *Snapshot) Liveness() *live.Info {
+	s.liveOnce.Do(func() { s.liveInfo = live.AnalyzeCode(s.cache) })
+	return s.liveInfo
+}
+
 // NewDBT returns a fresh translator primed with a private copy of the
 // snapshot state: warm runs on it skip translation exactly as on the
 // snapshotted instance, and any mutation (chaining under a faulty run, new
@@ -80,5 +106,6 @@ func (s *Snapshot) NewDBT() *DBT {
 		stubs:         append([]stub(nil), s.stubs...),
 		pendingCycles: s.pendingCycles,
 		stats:         s.stats,
+		plan:          s.plan.Clone(),
 	}
 }

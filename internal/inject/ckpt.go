@@ -11,6 +11,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dbt"
 	"repro/internal/isa"
+	"repro/internal/live"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -30,13 +31,17 @@ import (
 //     direct-branch counter reaches its index and a register fault when
 //     the step counter does; restoring at a point whose counters have not
 //     passed the index replays the firing exactly.
-//   - Clean tails are synthesized, never guessed. Only a fired offset-bit
-//     fault whose branch was not taken in either direction is
-//     short-circuited: the corrupted immediate is use-once and unused, so
-//     execution after the firing is the reference run, whose recorded
-//     finals provide the result. Flag faults persist in the flags register
-//     and register faults in the register file, so they always run their
-//     tail.
+//   - Clean tails are synthesized, never guessed. Two fault families are
+//     provably on the reference trajectory after firing and short-circuit
+//     to the recorded finals. (1) A fired offset-bit fault whose branch was
+//     not taken in either direction: the corrupted immediate is use-once
+//     and unused. (2) A fired flag/register-bit fault whose flipped bit is
+//     dead at its site (internal/live): a flag flip that left the branch
+//     direction unchanged and whose bit is redefined before any read along
+//     every path from the resume address, or a register flip whose victim
+//     is redefined before any read from the fault site on. Every other
+//     fault runs its tail. The replay engine never short-circuits — it is
+//     the ground truth the checkpoint reports are diffed against.
 
 // sitePoint returns the checkpoint a fault restores from: the last point
 // whose firing counter has not yet reached the fault's site.
@@ -65,15 +70,65 @@ func orderBySite(points []int) []int {
 	return order
 }
 
-// shortCircuitable reports whether the fired fault provably cannot change
-// anything after its firing step: the flipped offset bit lived in a
-// branch immediate that was consumed exactly once, by a branch that fell
-// through in both the clean and the faulted direction. The machine is on
-// the reference trajectory, so the reference finals are the result.
-// Requires a complete reference recording to synthesize from.
-func shortCircuitable(l *ckpt.Log, f *cpu.Fault) bool {
-	return l.Complete() && f.Fired &&
-		f.Kind == cpu.FaultOffsetBit && !f.CleanTaken && !f.FaultTaken
+// shortKind classifies how a sample's tail was resolved.
+type shortKind uint8
+
+const (
+	// shortNone: the tail was executed.
+	shortNone shortKind = iota
+	// shortOffset: not-taken offset-bit fault, tail synthesized.
+	shortOffset
+	// shortLive: dead flag/register bit (liveness prune), tail synthesized.
+	shortLive
+)
+
+// shortCircuitKind reports whether the fired fault provably cannot change
+// anything after its firing step, so that the reference finals are the
+// sample's result. Three rules, all requiring a complete reference
+// recording to synthesize from:
+//
+//   - Offset bits: the flipped bit lived in a branch immediate consumed
+//     exactly once, by a branch that fell through in both the clean and
+//     the faulted direction.
+//   - Flag bits: the flip left the branch direction unchanged, and the
+//     bit is dead at the resume address — every path redefines it before
+//     any Jcc/cmov/pushf reads it, so the lingering flip in the flags
+//     register can never be observed.
+//   - Register bits: the victim register is dead at the fault site —
+//     every path redefines it before any read — so the flip is
+//     overwritten before it can influence anything.
+//
+// li may be nil (liveness unavailable), which disables the latter two.
+func shortCircuitKind(l *ckpt.Log, f *cpu.Fault, li *live.Info) shortKind {
+	if !l.Complete() || !f.Fired {
+		return shortNone
+	}
+	switch f.Kind {
+	case cpu.FaultOffsetBit:
+		if !f.CleanTaken && !f.FaultTaken {
+			return shortOffset
+		}
+	case cpu.FaultFlagBit:
+		if li == nil || f.FaultTaken != f.CleanTaken {
+			return shortNone
+		}
+		// The branch itself already consumed the flags; deadness is judged
+		// where execution resumes.
+		next := f.FaultIP + 1
+		if f.CleanTaken {
+			next = f.CleanTarget
+		}
+		if li.FlagBitDead(next, f.Bit%isa.NumFlagBits) {
+			return shortLive
+		}
+	case cpu.FaultRegBit:
+		// The fault fires before the instruction at FaultIP executes, so
+		// deadness is judged at the fault site itself.
+		if li != nil && li.RegDead(f.FaultIP, f.Reg%isa.Reg(isa.NumRegs)) {
+			return shortLive
+		}
+	}
+	return shortNone
 }
 
 // runCkptSamples is the checkpoint engine for translated campaigns. The
@@ -112,6 +167,9 @@ func runCkptSamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Repor
 	}
 	order := orderBySite(points)
 	base := snap.Stats()
+	// Liveness over the snapshot cache powers the dead-bit prune; the
+	// analysis is shared read-only by every worker.
+	li := snap.Liveness()
 	workers := rep.Workers
 	err := par.RunWorkersCtx(ctx, workers, func(ctx context.Context, w int) error {
 		var c *obs.Collector
@@ -124,7 +182,7 @@ func runCkptSamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Repor
 				return err
 			}
 			i := order[j]
-			runCkptSample(cfg, snap, base, log, r, tech, c, faults[i], points[i], i, want, &results[i])
+			runCkptSample(cfg, snap, base, log, r, li, tech, c, faults[i], points[i], i, want, &results[i])
 		}
 		return nil
 	})
@@ -134,7 +192,7 @@ func runCkptSamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Repor
 
 // runCkptSample classifies one fault from a checkpoint restore.
 func runCkptSample(cfg *Config, snap *dbt.Snapshot, base dbt.Stats, log *ckpt.Log,
-	r *ckpt.Replayer, tech string, c *obs.Collector,
+	r *ckpt.Replayer, li *live.Info, tech string, c *obs.Collector,
 	f *cpu.Fault, k, sample int, want []int32, out *sampleResult) {
 	sd := snap.NewDBT()
 	m := r.Machine(k)
@@ -147,12 +205,10 @@ func runCkptSample(cfg *Config, snap *dbt.Snapshot, base dbt.Stats, log *ckpt.Lo
 	// then run the rest in one go — or synthesize it when the firing
 	// provably left the run on the reference trajectory.
 	stop := cpu.Stop{Reason: cpu.StopOutOfSteps}
-	short := false
+	short := shortNone
 	for stop.Reason == cpu.StopOutOfSteps && m.Steps < cfg.MaxSteps {
 		if f.Fired {
-			if shortCircuitable(log, f) {
-				short = true
-			} else {
+			if short = shortCircuitKind(log, f, li); short == shortNone {
 				stop = sd.Advance(m, cfg.MaxSteps)
 			}
 			break
@@ -164,8 +220,8 @@ func runCkptSample(cfg *Config, snap *dbt.Snapshot, base dbt.Stats, log *ckpt.Lo
 		stop = sd.Advance(m, target)
 	}
 
-	if short {
-		observeRestore(c, tech, restored, m.Steps-restored, true)
+	if short != shortNone {
+		observeRestore(c, tech, restored, m.Steps-restored, short)
 		out.stats = log.FinalPrefix
 		rec := Record{
 			Sample:   sample,
@@ -178,11 +234,12 @@ func runCkptSample(cfg *Config, snap *dbt.Snapshot, base dbt.Stats, log *ckpt.Lo
 		}
 		out.fired = true
 		out.rec = rec
+		out.short = short
 		return
 	}
 
 	res := sd.Finish(m, stop)
-	observeRestore(c, tech, restored, res.Steps-restored, false)
+	observeRestore(c, tech, restored, res.Steps-restored, shortNone)
 	out.stats = res.Stats.Sub(base)
 	if !f.Fired {
 		if c != nil {
@@ -244,6 +301,10 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, cfg
 		points[i] = sitePoint(log, faults[i])
 	}
 	order := orderBySite(points)
+	// The program is fixed for native runs, so one plan and one liveness
+	// analysis serve every worker read-only.
+	plan := cpu.NewPlan(p.Code, nil)
+	li := live.Analyze(g)
 	workers := rep.Workers
 	err := par.RunWorkersCtx(ctx, workers, func(ctx context.Context, w int) error {
 		var c *obs.Collector
@@ -262,13 +323,11 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, cfg
 			restored := m.Steps
 
 			stop := cpu.Stop{Reason: cpu.StopOutOfSteps}
-			short := false
+			short := shortNone
 			for stop.Reason == cpu.StopOutOfSteps && m.Steps < cfgn.MaxSteps {
 				if f.Fired {
-					if shortCircuitable(log, f) {
-						short = true
-					} else {
-						stop = m.Run(p.Code, cfgn.MaxSteps)
+					if short = shortCircuitKind(log, f, li); short == shortNone {
+						stop = m.RunPlan(&plan, cfgn.MaxSteps)
 					}
 					break
 				}
@@ -276,11 +335,11 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, cfg
 				if target > cfgn.MaxSteps {
 					target = cfgn.MaxSteps
 				}
-				stop = m.Run(p.Code, target)
+				stop = m.RunPlan(&plan, target)
 			}
 
 			observeRestore(c, label, restored, m.Steps-restored, short)
-			if short {
+			if short != shortNone {
 				rec := Record{
 					Sample:   i,
 					Fault:    *f,
@@ -290,7 +349,7 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, cfg
 				if c != nil {
 					observeSample(c, label, &rec, log.Final.SigChecks, 0)
 				}
-				results[i] = sampleResult{fired: true, rec: rec}
+				results[i] = sampleResult{fired: true, rec: rec, short: short}
 				continue
 			}
 			cpu.TraceRunOutcome(cfgn.Trace, m, stop)
@@ -347,14 +406,19 @@ func publishLog(reg *obs.Registry, technique string, l *ckpt.Log) {
 
 // observeRestore folds one restore into a worker's shard: the steps the
 // checkpoint skipped versus the steps actually executed (the engine's
-// amortization ratio), plus the short-circuit count.
-func observeRestore(c *obs.Collector, technique string, restored, replayed uint64, short bool) {
+// amortization ratio), plus the short-circuit counts.
+// ckpt_shortcircuits_total counts every synthesized tail regardless of
+// family; ckpt_live_pruned_total additionally counts the liveness family.
+func observeRestore(c *obs.Collector, technique string, restored, replayed uint64, short shortKind) {
 	if c == nil {
 		return
 	}
 	c.Add(seriesName("ckpt_restores_total", technique), 1)
-	if short {
+	if short != shortNone {
 		c.Add(seriesName("ckpt_shortcircuits_total", technique), 1)
+	}
+	if short == shortLive {
+		c.Add(seriesName("ckpt_live_pruned_total", technique), 1)
 	}
 	c.Observe(seriesName("ckpt_restored_steps", technique), obs.DefaultLatencyBuckets, restored)
 	c.Observe(seriesName("ckpt_replayed_steps", technique), obs.DefaultLatencyBuckets, replayed)

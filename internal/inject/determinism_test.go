@@ -15,6 +15,12 @@ func reportKey(r *Report) Report {
 	k := *r
 	k.Workers = 0
 	k.Elapsed = 0
+	// Engine telemetry: how tails were resolved differs between the
+	// checkpoint and replay engines by design; the classified results may
+	// not.
+	k.Executed = 0
+	k.ShortOffset = 0
+	k.ShortLive = 0
 	return k
 }
 

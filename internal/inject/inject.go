@@ -117,6 +117,16 @@ type Report struct {
 	// Neither influences the classified results.
 	Workers int
 	Elapsed time.Duration
+	// Engine telemetry: how the checkpoint engine resolved each sample.
+	// Executed samples ran their tail; ShortOffset samples were synthesized
+	// by the not-taken-offset rule and ShortLive by the liveness prune
+	// (Executed+ShortOffset+ShortLive == Samples under the checkpoint
+	// engine; the replay engine executes everything). Like Workers/Elapsed
+	// these never influence the classified results and are zeroed by
+	// FormatNormalized.
+	Executed    int
+	ShortOffset int
+	ShortLive   int
 }
 
 // Throughput returns classified runs per second of wall-clock.
@@ -245,6 +255,9 @@ type sampleResult struct {
 	// stats is the clone's own translation work: its final stats minus
 	// the snapshot baseline.
 	stats dbt.Stats
+	// short records how the checkpoint engine resolved the sample
+	// (executed vs synthesized); always shortNone under replay.
+	short shortKind
 }
 
 // merge folds per-sample results into the report in index order, so the
@@ -253,6 +266,14 @@ func (r *Report) merge(results []sampleResult, keepRecords bool) {
 	for i := range results {
 		s := &results[i]
 		r.Translator.Add(s.stats)
+		switch s.short {
+		case shortOffset:
+			r.ShortOffset++
+		case shortLive:
+			r.ShortLive++
+		default:
+			r.Executed++
+		}
 		if !s.fired {
 			r.NotFired++
 			continue

@@ -55,7 +55,8 @@ func (cfgn Config) RunStaticWarm(ctx context.Context, p *isa.Program, label stri
 		log = nil // a cached log is meaningless to the replay engine
 		clean := cpu.New()
 		clean.Reset(p)
-		if stop := clean.Run(p.Code, cfgn.MaxSteps); stop.Reason != cpu.StopHalt {
+		cleanPlan := cpu.NewPlan(p.Code, nil)
+		if stop := clean.RunPlan(&cleanPlan, cfgn.MaxSteps); stop.Reason != cpu.StopHalt {
 			return nil, fmt.Errorf("%s: clean run ended with %v", p.Name, stop)
 		}
 		want = append([]int32(nil), clean.Output...)

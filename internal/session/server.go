@@ -66,6 +66,12 @@ type RecordJSON struct {
 	MeanLatency float64        `json:"mean_latency"`
 	Workers     int            `json:"workers,omitempty"`
 	ElapsedSec  float64        `json:"elapsed_sec"`
+	// Engine telemetry: executed vs synthesized tails (offset not-taken
+	// and liveness-pruned short-circuit families). Zero under the replay
+	// engine; excluded from the normalized Report.
+	Executed    int `json:"executed,omitempty"`
+	ShortOffset int `json:"short_offset,omitempty"`
+	ShortLive   int `json:"short_live,omitempty"`
 	// Report is the normalized rendering (worker count and wall clock
 	// zeroed): byte-identical to `cfc-inject -report-json` for the same
 	// configuration, which the CI smoke test diffs against.
@@ -174,6 +180,9 @@ func fillRecord(rec *RecordJSON, rep *inject.Report) {
 	rec.MeanLatency = rep.MeanLatency()
 	rec.Workers = rep.Workers
 	rec.ElapsedSec = rep.Elapsed.Seconds()
+	rec.Executed = rep.Executed
+	rec.ShortOffset = rep.ShortOffset
+	rec.ShortLive = rep.ShortLive
 	rec.Report = inject.FormatNormalized(rep)
 	totals := map[string]int{}
 	for o := inject.Outcome(0); o < inject.NumOutcomes; o++ {

@@ -347,7 +347,8 @@ func (r *Registry) build(ctx context.Context, k Key) (*Session, error) {
 		}
 		m := cpu.New()
 		m.Reset(s.prog)
-		stop := m.Run(s.prog.Code, r.cfg.MaxSteps)
+		plan := cpu.NewPlan(s.prog.Code, nil)
+		stop := m.RunPlan(&plan, r.cfg.MaxSteps)
 		if stop.Reason != cpu.StopHalt {
 			return nil, fmt.Errorf("%s: clean run ended with %v", s.prog.Name, stop)
 		}
