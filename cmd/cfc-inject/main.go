@@ -289,15 +289,15 @@ func writeCkptJSON(ctx context.Context, path string, p *isa.Program, cfg core.Co
 // worker counts, so the record shows worker scaling composing with
 // checkpoint amortization (total = replay_1w / ckpt_Nw).
 type scaleRecord struct {
-	Workload      string     `json:"workload"`
-	Technique     string     `json:"technique"`
-	Samples       int        `json:"samples"`
-	Seed          int64      `json:"seed"`
-	CkptInterval  int64      `json:"ckpt_interval"`
-	GOMAXPROCS    int        `json:"gomaxprocs"`
-	NumCPU        int        `json:"num_cpu"`
-	ReplaySec     float64    `json:"replay_sec"` // replay engine, 1 worker
-	Runs          []scaleRun `json:"runs"`
+	Workload     string     `json:"workload"`
+	Technique    string     `json:"technique"`
+	Samples      int        `json:"samples"`
+	Seed         int64      `json:"seed"`
+	CkptInterval int64      `json:"ckpt_interval"`
+	GOMAXPROCS   int        `json:"gomaxprocs"`
+	NumCPU       int        `json:"num_cpu"`
+	ReplaySec    float64    `json:"replay_sec"` // replay engine, 1 worker
+	Runs         []scaleRun `json:"runs"`
 	// BestSpeedup is the largest composed factor observed across the
 	// worker sweep.
 	BestSpeedup float64 `json:"best_speedup"`

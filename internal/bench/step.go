@@ -4,32 +4,39 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/comp"
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/workloads"
 )
 
-// StepResult reports the predecoded hot loop (RunPlan) against the
-// baseline per-step interpreter (Run) on one workload: best-of-reps
-// wall-clock for each, the composed speedup, and an identity verdict
-// over the full architectural outcome.
+// StepResult reports the predecoded hot loop (RunPlan) and the
+// block-compiled backend against the baseline per-step interpreter (Run)
+// on one workload: best-of-reps wall-clock for each, the composed
+// speedups, and an identity verdict over the full architectural outcome.
 type StepResult struct {
-	Workload  string
-	Steps     uint64 // guest instructions retired per run
-	Reps      int
-	RunSec    float64 // baseline interpreter, best rep
-	PlanSec   float64 // predecoded plan, best rep
-	Speedup   float64 // RunSec / PlanSec
-	Identical bool    // counters, registers, flags and output all match
+	Workload       string
+	Steps          uint64 // guest instructions retired per run
+	Reps           int
+	RunSec         float64 // baseline interpreter, best rep
+	PlanSec        float64 // predecoded plan, best rep
+	CompileSec     float64 // block-compiled backend, best rep
+	Speedup        float64 // RunSec / PlanSec
+	CompileSpeedup float64 // PlanSec / CompileSec
+	Identical      bool    // counters, registers, flags and output all match
 }
 
-// StepThroughput measures raw interpreter step throughput with and
-// without the predecoded execution plan. Both engines run the same
+// StepThroughput measures raw step throughput across the three execution
+// backends: the per-step interpreter, the predecoded execution plan, and
+// the block-compiled engine with direct chaining. All three run the same
 // program to completion reps times; the best (minimum) wall-clock per
 // engine is kept, the usual microbenchmark discipline for spotting the
-// noise floor. The identity verdict compares final registers, flags,
-// IP, step/cycle/branch counters and output — the plan must be a pure
-// performance transform.
+// noise floor. The compiled engine is built once before the reps — hot
+// blocks promoted on rep one serve every later rep, exactly how a warm
+// campaign reuses a frozen snapshot core. The identity verdict compares
+// final registers, flags, IP, step/cycle/branch counters and output —
+// both the plan and the compiled backend must be pure performance
+// transforms.
 func StepThroughput(workload string, scale float64, reps int) (*StepResult, error) {
 	if reps <= 0 {
 		reps = 3
@@ -67,8 +74,9 @@ func StepThroughput(workload string, scale float64, reps int) (*StepResult, erro
 	}
 
 	res := &StepResult{Workload: p.Name, Reps: reps}
-	var runOut, planOut outcome
+	var runOut, planOut, compOut outcome
 	plan := cpu.NewPlan(p.Code, nil)
+	eng := comp.NewEngine(p.Code, nil, 0)
 	for rep := 0; rep < reps; rep++ {
 		m := cpu.New()
 		m.Reset(p)
@@ -95,11 +103,27 @@ func StepThroughput(workload string, scale float64, reps int) (*StepResult, erro
 			res.PlanSec = sec
 		}
 		planOut = capture(m, stop)
+
+		m = cpu.New()
+		m.Reset(p)
+		start = time.Now()
+		stop = eng.Run(m, &plan, DefaultMaxSteps)
+		sec = time.Since(start).Seconds()
+		if stop.Reason != cpu.StopHalt {
+			return nil, fmt.Errorf("%s: compiled run ended with %v", p.Name, stop)
+		}
+		if rep == 0 || sec < res.CompileSec {
+			res.CompileSec = sec
+		}
+		compOut = capture(m, stop)
 	}
 	res.Steps = planOut.steps
-	res.Identical = runOut == planOut
+	res.Identical = runOut == planOut && compOut == planOut
 	if res.PlanSec > 0 {
 		res.Speedup = res.RunSec / res.PlanSec
+	}
+	if res.CompileSec > 0 {
+		res.CompileSpeedup = res.PlanSec / res.CompileSec
 	}
 	return res, nil
 }
@@ -116,9 +140,11 @@ func FormatStep(r *StepResult) string {
 		"Interpreter step throughput — %s (%d guest instrs, best of %d)\n"+
 			"%-12s %10.4fs %8.1f Minstr/s\n"+
 			"%-12s %10.4fs %8.1f Minstr/s\n"+
-			"speedup: %.2fx, identical: %v\n",
+			"%-12s %10.4fs %8.1f Minstr/s\n"+
+			"speedup: %.2fx (plan/baseline), %.2fx (compiled/plan), identical: %v\n",
 		r.Workload, r.Steps, r.Reps,
 		"baseline", r.RunSec, mips(r.RunSec),
 		"predecoded", r.PlanSec, mips(r.PlanSec),
-		r.Speedup, r.Identical)
+		"compiled", r.CompileSec, mips(r.CompileSec),
+		r.Speedup, r.CompileSpeedup, r.Identical)
 }

@@ -1,7 +1,7 @@
 // Package cli binds the execution-surface flags shared by every cmd/
 // tool: the observability pair (-trace, -metrics), the profiling pair
 // (-cpuprofile, -memprofile) and the campaign knobs (-workers,
-// -ckpt-interval) that core.Options carries. Binding them in one place
+// -ckpt-interval, -backend) that core.Options carries. Binding them in one place
 // keeps the six CLIs and cfc-serve presenting an identical surface, and
 // Options() hands the parsed result straight to any campaign entry point
 // that embeds core.Options.
@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/comp"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -36,7 +37,12 @@ type App struct {
 	// disables the respective profile.
 	CPUProfile string
 	MemProfile string
+	// Backend is the parsed -backend value; Open validates it. Empty is
+	// "auto" (the block-compiled engine — every backend is byte-identical,
+	// only wall-clock changes).
+	Backend string
 
+	backend comp.Backend
 	cpuFile *os.File
 }
 
@@ -49,12 +55,22 @@ func (a *App) BindFlags(fs *flag.FlagSet) {
 		"checkpoint interval in steps (-1 auto, 0 full replay)")
 	fs.StringVar(&a.CPUProfile, "cpuprofile", a.CPUProfile, "write a pprof CPU profile to `file`")
 	fs.StringVar(&a.MemProfile, "memprofile", a.MemProfile, "write a pprof heap profile to `file` on exit")
+	if a.Backend == "" {
+		a.Backend = comp.BackendAuto.String()
+	}
+	fs.StringVar(&a.Backend, "backend", a.Backend,
+		"execution backend: auto, step, plan or compile (all byte-identical)")
 }
 
 // Open materializes the observability sinks and, when -cpuprofile was
 // given, starts CPU profiling. It shadows the embedded obs.CLI.Open so
 // every tool picks the profiling surface up for free.
 func (a *App) Open() error {
+	b, err := comp.ParseBackend(a.Backend)
+	if err != nil {
+		return err
+	}
+	a.backend = b
 	if err := a.CLI.Open(); err != nil {
 		return err
 	}
@@ -114,5 +130,6 @@ func (a *App) Options() core.Options {
 		Metrics:      a.Registry(),
 		Workers:      a.Workers,
 		CkptInterval: a.CkptInterval,
+		Backend:      a.backend,
 	}
 }

@@ -1,0 +1,136 @@
+package comp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/workloads"
+)
+
+// outcome captures everything the backends must agree on.
+type outcome struct {
+	stop   cpu.Stop
+	regs   [isa.NumRegs]int32
+	flags  isa.Flags
+	ip     uint32
+	steps  uint64
+	cycles uint64
+	direct uint64
+	indir  uint64
+	sig    uint64
+	outLen int
+}
+
+func capture(m *cpu.Machine, stop cpu.Stop) outcome {
+	return outcome{
+		stop: stop, regs: m.Regs, flags: m.Flags, ip: m.IP,
+		steps: m.Steps, cycles: m.Cycles, direct: m.DirectBranches,
+		indir: m.IndirectBranches, sig: m.SigChecks, outLen: len(m.Output),
+	}
+}
+
+const testMaxSteps = uint64(1) << 62
+
+// TestCompiledMatchesPlanOnWorkloads runs every workload under RunPlan and
+// the compiled backend and requires identical outcomes.
+func TestCompiledMatchesPlanOnWorkloads(t *testing.T) {
+	for _, prof := range workloads.All() {
+		p, err := prof.Build(0.05)
+		if err != nil {
+			t.Fatalf("%s: build: %v", prof.Name, err)
+		}
+		plan := cpu.NewPlan(p.Code, nil)
+		m := cpu.New()
+		m.Reset(p)
+		want := capture(m, m.RunPlan(&plan, testMaxSteps))
+
+		eng := NewEngine(p.Code, nil, 0)
+		m2 := cpu.New()
+		m2.Reset(p)
+		got := capture(m2, eng.Run(m2, &plan, testMaxSteps))
+		if got != want {
+			t.Errorf("%s: compiled outcome differs\n got: %+v\nwant: %+v", prof.Name, got, want)
+		}
+	}
+}
+
+// TestCompiledThroughput reports the compiled backend's speedup over
+// RunPlan on 164.gzip; informational (the CI gate runs via cfc-bench).
+func TestCompiledThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	prof, err := workloads.ByName("164.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prof.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := cpu.NewPlan(p.Code, nil)
+
+	best := func(run func() outcome) (float64, outcome) {
+		sec := 0.0
+		var out outcome
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			out = run()
+			s := time.Since(start).Seconds()
+			if rep == 0 || s < sec {
+				sec = s
+			}
+		}
+		return sec, out
+	}
+
+	planSec, planOut := best(func() outcome {
+		m := cpu.New()
+		m.Reset(p)
+		return capture(m, m.RunPlan(&plan, testMaxSteps))
+	})
+	compSec, compOut := best(func() outcome {
+		eng := NewEngine(p.Code, nil, 0)
+		m := cpu.New()
+		m.Reset(p)
+		return capture(m, eng.Run(m, &plan, testMaxSteps))
+	})
+	if planOut != compOut {
+		t.Fatalf("outcome mismatch\n got: %+v\nwant: %+v", compOut, planOut)
+	}
+	t.Logf("steps=%d plan=%.4fs compiled=%.4fs speedup=%.2fx",
+		planOut.steps, planSec, compSec, planSec/compSec)
+}
+
+func benchProgram(b *testing.B) (*isa.Program, cpu.Plan) {
+	prof, err := workloads.ByName("164.gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := prof.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, cpu.NewPlan(p.Code, nil)
+}
+
+func BenchmarkPlan(b *testing.B) {
+	p, plan := benchProgram(b)
+	for i := 0; i < b.N; i++ {
+		m := cpu.New()
+		m.Reset(p)
+		m.RunPlan(&plan, testMaxSteps)
+	}
+}
+
+func BenchmarkCompiled(b *testing.B) {
+	p, plan := benchProgram(b)
+	eng := NewEngine(p.Code, nil, 0)
+	for i := 0; i < b.N; i++ {
+		m := cpu.New()
+		m.Reset(p)
+		eng.Run(m, &plan, testMaxSteps)
+	}
+}

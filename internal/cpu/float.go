@@ -7,3 +7,8 @@ import "math"
 
 func float32frombits(b uint32) float32 { return math.Float32frombits(b) }
 func float32bits(f float32) uint32     { return math.Float32bits(f) }
+
+// Fop applies one float32 ALU operation ('+', '-', '*', '/') to register bit
+// patterns with the interpreter's exact semantics. The compiled backend
+// shares it so FP results stay bit-identical across execution tiers.
+func Fop(a, b int32, op byte) int32 { return fop(a, b, op) }

@@ -3,6 +3,7 @@ package dbt
 import (
 	"fmt"
 
+	"repro/internal/comp"
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/obs"
@@ -15,6 +16,13 @@ type Options struct {
 	Technique Technique
 	// Policy selects check placement (ALLBB by default).
 	Policy Policy
+	// Backend selects the execution engine driving translated code:
+	// BackendStep (per-step interpreter), BackendPlan (predecoded hot
+	// loop) or BackendCompile (block-compiled with direct chaining).
+	// The zero value BackendAuto resolves to the compiled backend. All
+	// backends are byte-identical in architectural state, counters and
+	// output — the choice only moves wall-clock.
+	Backend comp.Backend
 	// NoChaining disables block chaining: every inter-block transfer
 	// dispatches through the translator (ablation knob).
 	NoChaining bool
@@ -142,6 +150,10 @@ type Result struct {
 	CacheSize int
 	// SigChecks counts executed signature-check branches during the run.
 	SigChecks uint64
+	// Comp is the compiled-backend activity accumulated on this DBT (zero
+	// when an interpreter backend ran). Snapshot clones start from zero,
+	// so a sample's Result.Comp is that sample's own work.
+	Comp comp.Stats
 }
 
 // Detected reports whether the run ended with an error detection, either
@@ -175,6 +187,12 @@ type DBT struct {
 	// at chain-patched slots, shared copy-on-write between snapshot clones.
 	plan cpu.Plan
 
+	// comp is the block-compiled execution engine over the code cache
+	// (nil when Options.Backend selects an interpreter tier). The owning
+	// DBT's engine compiles adaptively; snapshot clones share a frozen
+	// core read-only (see Snapshot).
+	comp *comp.Engine
+
 	// pendingCycles accrues translation cost until the next time the
 	// machine is available to charge it.
 	pendingCycles uint64
@@ -193,13 +211,17 @@ func New(p *isa.Program, opts Options) *DBT {
 	if opts.Costs == nil {
 		opts.Costs = cpu.DefaultCosts()
 	}
-	return &DBT{
+	d := &DBT{
 		prog:   p,
 		opts:   opts,
 		tech:   opts.Technique,
 		blocks: make(map[uint32]*TBlock),
 		plan:   cpu.NewPlan(nil, opts.Costs),
 	}
+	if opts.Backend.Compiled() {
+		d.comp = comp.NewEngine(nil, opts.Costs, 0)
+	}
+	return d
 }
 
 // Prog returns the guest program.
@@ -208,6 +230,15 @@ func (d *DBT) Prog() *isa.Program { return d.prog }
 // StatsSnapshot returns a copy of the translator statistics accumulated so
 // far.
 func (d *DBT) StatsSnapshot() Stats { return d.stats }
+
+// CompStats returns a copy of the compiled-backend statistics accumulated
+// on this DBT so far (zero for interpreter backends).
+func (d *DBT) CompStats() comp.Stats {
+	if d.comp == nil {
+		return comp.Stats{}
+	}
+	return d.comp.Stats
+}
 
 // CacheLen returns the current code cache size in instructions.
 func (d *DBT) CacheLen() int { return len(d.cache) }
@@ -276,7 +307,16 @@ func (d *DBT) Resume(m *cpu.Machine, prefix Stats) {
 func (d *DBT) Advance(m *cpu.Machine, maxSteps uint64) cpu.Stop {
 	for {
 		d.plan.Sync(d.cache)
-		stop := m.RunPlan(&d.plan, maxSteps)
+		var stop cpu.Stop
+		switch d.opts.Backend {
+		case comp.BackendStep:
+			stop = m.Run(d.cache, maxSteps)
+		case comp.BackendPlan:
+			stop = m.RunPlan(&d.plan, maxSteps)
+		default: // BackendAuto, BackendCompile
+			d.comp.Sync(d.cache)
+			stop = d.comp.Run(m, &d.plan, maxSteps)
+		}
 		if stop.Reason != cpu.StopTrapOut {
 			return stop
 		}
@@ -336,8 +376,14 @@ func (d *DBT) Advance(m *cpu.Machine, maxSteps uint64) cpu.Stop {
 			// immediate-only and needs none.
 			d.plan.Sync(d.cache)
 			d.plan.Redecode(s.slot)
+			// The compiled backend bakes opcodes AND immediates into its
+			// uop arrays, so unlike the plan it must drop blocks at both
+			// patch sites: the rewritten stub slot and the referring
+			// branch whose target immediate changes below.
+			d.comp.Redecode(s.slot)
 			if s.referrer != noReferrer {
 				d.cache[s.referrer].Imm = isa.OffsetFor(s.referrer, tb.CacheStart)
+				d.comp.Redecode(s.referrer)
 			}
 			s.chained = true
 			if d.opts.Trace != nil {
@@ -360,7 +406,7 @@ func (d *DBT) Finish(m *cpu.Machine, stop cpu.Stop) *Result {
 func (d *DBT) result(m *cpu.Machine, stop cpu.Stop) *Result {
 	cpu.TraceRunOutcome(d.opts.Trace, m, stop)
 	st := d.stats
-	return &Result{
+	r := &Result{
 		Stop:           stop,
 		Cycles:         m.Cycles,
 		Steps:          m.Steps,
@@ -370,6 +416,10 @@ func (d *DBT) result(m *cpu.Machine, stop cpu.Stop) *Result {
 		CacheSize:      len(d.cache),
 		SigChecks:      m.SigChecks,
 	}
+	if d.comp != nil {
+		r.Comp = d.comp.Stats
+	}
+	return r
 }
 
 // lookupBlock resolves a guest address against the owned block map, falling
@@ -576,6 +626,7 @@ func (d *DBT) Invalidate() {
 	d.tlist = nil
 	d.stubs = nil
 	d.plan.Sync(nil)
+	d.comp.Sync(nil)
 	d.stats.Invalidations++
 }
 

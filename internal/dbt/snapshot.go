@@ -3,6 +3,7 @@ package dbt
 import (
 	"sync"
 
+	"repro/internal/comp"
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/live"
@@ -39,6 +40,20 @@ type Snapshot struct {
 	// never mutated through the snapshot itself.
 	plan cpu.Plan
 
+	// comp is the frozen block-compiled engine over the snapshot cache
+	// (nil for interpreter backends): every entry point is eagerly
+	// compiled and chain-resolved at capture, and clones share the
+	// compiled core read-only through per-clone views.
+	comp *comp.Engine
+	// compStats is the owning translator's compiled-backend work up to and
+	// including the eager freeze — the campaign-level baseline, mirroring
+	// Stats() for translator work.
+	compStats comp.Stats
+
+	// liveOnce/liveInfo implement the lazily shared liveness analysis.
+	// They live on the Snapshot struct itself — which clones reference by
+	// pointer and never copy — so concurrent samples race-freely share one
+	// analysis (see TestSnapshotLivenessSharedAcrossClones).
 	liveOnce sync.Once
 	liveInfo *live.Info
 }
@@ -56,6 +71,17 @@ func (d *DBT) Snapshot() *Snapshot {
 		stats:         d.stats,
 	}
 	s.plan = cpu.NewPlan(s.cache, d.opts.Costs)
+	if d.comp != nil {
+		// Freeze the compiled core: eagerly compile every entry point the
+		// cache can transfer to, resolve all chain slots, and make the
+		// core immutable so clones share it without synchronization. The
+		// freeze also stops the owner's adaptive tier — a snapshot is
+		// taken when the cache has stabilized, so nothing is lost.
+		d.comp.Sync(d.cache)
+		d.comp.Freeze(d.compStarts())
+		s.comp = d.comp
+		s.compStats = d.comp.Stats
+	}
 	if d.blocks == nil {
 		// The clone never materialized a private map; the shared one is
 		// already immutable and can be adopted as-is.
@@ -69,8 +95,35 @@ func (d *DBT) Snapshot() *Snapshot {
 	return s
 }
 
+// compStarts collects every cache address block-compiled execution can
+// enter: translated-unit starts, fall-throughs past a terminator (the
+// technique tails emit several internal basic blocks per translated
+// unit — check branches, report paths, chaining stubs) and direct-branch
+// targets. Freezing over this set means a warm campaign's samples never
+// fall back to the interpreter on a hot path.
+func (d *DBT) compStarts() []uint32 {
+	starts := make([]uint32, 0, len(d.tlist)+len(d.cache)/4)
+	for _, tb := range d.tlist {
+		starts = append(starts, tb.CacheStart)
+	}
+	for addr, in := range d.cache {
+		if in.Op.IsTerminator() && addr+1 < len(d.cache) {
+			starts = append(starts, uint32(addr+1))
+		}
+		if in.Op.IsDirectBranch() {
+			starts = append(starts, in.Target(uint32(addr)))
+		}
+	}
+	return starts
+}
+
 // CacheLen returns the snapshot's code cache size in instructions.
 func (s *Snapshot) CacheLen() int { return len(s.cache) }
+
+// CompStats returns the compiled-backend work accumulated by the owning
+// translator up to the snapshot freeze (zero for interpreter backends) —
+// the baseline campaigns add per-sample deltas to.
+func (s *Snapshot) CompStats() comp.Stats { return s.compStats }
 
 // Stats returns the translator statistics captured with the snapshot —
 // the baseline a clone's final stats are diffed against to recover one
@@ -96,7 +149,7 @@ func (s *Snapshot) Liveness() *live.Info {
 // clone shares the snapshot's read-only map and copies it only on the first
 // structural change (see DBT.setBlock).
 func (s *Snapshot) NewDBT() *DBT {
-	return &DBT{
+	d := &DBT{
 		prog:          s.prog,
 		opts:          s.opts,
 		tech:          s.opts.Technique,
@@ -108,4 +161,14 @@ func (s *Snapshot) NewDBT() *DBT {
 		stats:         s.stats,
 		plan:          s.plan.Clone(),
 	}
+	if s.comp != nil {
+		// A per-clone view over the frozen compiled core: fresh stats, own
+		// disable flag, re-aliased onto the clone's private cache copy. A
+		// clone that patches its cache under a compiled block disables its
+		// view and finishes on the interpreter; the shared core and every
+		// other sample are untouched.
+		d.comp = s.comp.Clone()
+		d.comp.Sync(d.cache)
+	}
+	return d
 }

@@ -220,6 +220,10 @@ func runCkptSample(cfg *Config, snap *dbt.Snapshot, base dbt.Stats, log *ckpt.Lo
 		stop = sd.Advance(m, target)
 	}
 
+	// Either way the sample's compiled-backend work is whatever its clone
+	// actually executed (synthesized tails run no blocks).
+	out.comp = sd.CompStats()
+
 	if short != shortNone {
 		observeRestore(c, tech, restored, m.Steps-restored, short)
 		out.stats = log.FinalPrefix
@@ -274,7 +278,7 @@ func runCkptSample(cfg *Config, snap *dbt.Snapshot, base dbt.Stats, log *ckpt.Lo
 // translator) campaigns: same restore/sort/short-circuit discipline, but
 // the machine runs guest code directly and there is no translator state
 // to credit or protect.
-func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, cfgn *Config, rep *Report,
+func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, se *staticExec, cfgn *Config, rep *Report,
 	label string, shards []*obs.Collector, results []sampleResult, cleanSteps uint64, log *ckpt.Log) error {
 	start := time.Now()
 	if log == nil {
@@ -301,9 +305,9 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, cfg
 		points[i] = sitePoint(log, faults[i])
 	}
 	order := orderBySite(points)
-	// The program is fixed for native runs, so one plan and one liveness
-	// analysis serve every worker read-only.
-	plan := cpu.NewPlan(p.Code, nil)
+	// The program is fixed for native runs, so the shared plan, the frozen
+	// compiled engine and one liveness analysis serve every worker
+	// read-only (samples take per-view engine clones).
 	li := live.Analyze(g)
 	workers := rep.Workers
 	err := par.RunWorkersCtx(ctx, workers, func(ctx context.Context, w int) error {
@@ -321,13 +325,14 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, cfg
 			m := r.Machine(points[i])
 			m.Fault = f
 			restored := m.Steps
+			v := se.view()
 
 			stop := cpu.Stop{Reason: cpu.StopOutOfSteps}
 			short := shortNone
 			for stop.Reason == cpu.StopOutOfSteps && m.Steps < cfgn.MaxSteps {
 				if f.Fired {
 					if short = shortCircuitKind(log, f, li); short == shortNone {
-						stop = m.RunPlan(&plan, cfgn.MaxSteps)
+						stop = se.run(v, m, cfgn.MaxSteps)
 					}
 					break
 				}
@@ -335,9 +340,11 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, cfg
 				if target > cfgn.MaxSteps {
 					target = cfgn.MaxSteps
 				}
-				stop = m.RunPlan(&plan, target)
+				stop = se.run(v, m, target)
 			}
 
+			cst := se.stats(v)
+			results[i].comp = cst
 			observeRestore(c, label, restored, m.Steps-restored, short)
 			if short != shortNone {
 				rec := Record{
@@ -349,7 +356,7 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, cfg
 				if c != nil {
 					observeSample(c, label, &rec, log.Final.SigChecks, 0)
 				}
-				results[i] = sampleResult{fired: true, rec: rec, short: short}
+				results[i] = sampleResult{fired: true, rec: rec, short: short, comp: cst}
 				continue
 			}
 			cpu.TraceRunOutcome(cfgn.Trace, m, stop)
@@ -376,7 +383,7 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, cfg
 			if c != nil {
 				observeSample(c, label, &rec, m.SigChecks, 0)
 			}
-			results[i] = sampleResult{fired: true, rec: rec}
+			results[i] = sampleResult{fired: true, rec: rec, comp: cst}
 		}
 		return nil
 	})

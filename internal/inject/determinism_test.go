@@ -7,6 +7,7 @@ import (
 	"repro/internal/dbt"
 
 	"repro/internal/check"
+	"repro/internal/comp"
 )
 
 // reportKey strips the fields that legitimately vary between runs (wall
@@ -21,6 +22,7 @@ func reportKey(r *Report) Report {
 	k.Executed = 0
 	k.ShortOffset = 0
 	k.ShortLive = 0
+	k.Compiled = comp.Stats{}
 	return k
 }
 

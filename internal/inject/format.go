@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/comp"
 	"repro/internal/errmodel"
 )
 
@@ -38,6 +39,12 @@ func FormatReport(r *Report) string {
 			st.BlocksTranslated, st.GuestInstrsTranslated, st.TracesFormed,
 			st.CheckSites, st.Dispatches, st.IndirectLookups)
 	}
+	if c := r.Compiled; c.BlocksCompiled > 0 {
+		// Compiled-backend telemetry; elided when zero (interpreter
+		// backends) so FormatNormalized output is unchanged.
+		fmt.Fprintf(&b, "compiled: %d blocks, %d trace promotions, %d chain hits\n",
+			c.BlocksCompiled, c.TracePromotions, c.ChainHits)
+	}
 	if r.ShortOffset+r.ShortLive > 0 {
 		// Engine telemetry; elided when zero so FormatNormalized output is
 		// unchanged (the counters are zeroed there).
@@ -66,5 +73,6 @@ func FormatNormalized(r *Report) string {
 	n.Executed = 0
 	n.ShortOffset = 0
 	n.ShortLive = 0
+	n.Compiled = comp.Stats{}
 	return FormatReport(&n)
 }

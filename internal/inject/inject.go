@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/comp"
 	"repro/internal/cpu"
 	"repro/internal/dbt"
 	"repro/internal/errmodel"
@@ -112,6 +113,13 @@ type Report struct {
 	// translations, re-chaining). Like the outcome counts it is a pure
 	// function of (program, cfg minus Workers).
 	Translator dbt.Stats
+	// Compiled aggregates the block-compiled backend's work: the warm-up
+	// compilation (including the snapshot freeze) plus every sample's
+	// chain-slot transitions. Counter sums are worker-invariant, but they
+	// legitimately differ between the replay and checkpoint engines (a
+	// synthesized tail executes no blocks), so — like Workers and Elapsed
+	// — FormatNormalized excludes them.
+	Compiled comp.Stats
 	// Workers is the resolved worker count that ran the campaign and
 	// Elapsed the wall-clock of the injection phase (warm-up excluded).
 	// Neither influences the classified results.
@@ -182,6 +190,11 @@ type Options struct {
 	// checkpoint before its fault site, executing only the tail. Reports
 	// are byte-identical to full replay for every Workers value.
 	CkptInterval int64
+	// Backend selects the execution engine (step interpreter, predecoded
+	// plan, or block-compiled with direct chaining). The zero value
+	// BackendAuto resolves to the compiled backend. Classified reports are
+	// byte-identical across backends; only wall-clock changes.
+	Backend comp.Backend
 }
 
 // Config parameterizes a campaign.
@@ -255,6 +268,9 @@ type sampleResult struct {
 	// stats is the clone's own translation work: its final stats minus
 	// the snapshot baseline.
 	stats dbt.Stats
+	// comp is the clone's own compiled-backend work (clone views start
+	// from zero stats, so no baseline subtraction is needed).
+	comp comp.Stats
 	// short records how the checkpoint engine resolved the sample
 	// (executed vs synthesized); always shortNone under replay.
 	short shortKind
@@ -266,6 +282,7 @@ func (r *Report) merge(results []sampleResult, keepRecords bool) {
 	for i := range results {
 		s := &results[i]
 		r.Translator.Add(s.stats)
+		r.Compiled.Add(s.comp)
 		switch s.short {
 		case shortOffset:
 			r.ShortOffset++
@@ -320,6 +337,7 @@ func Warm(p *isa.Program, cfg Config) (*dbt.Snapshot, *dbt.Result, error) {
 		TraceThreshold: cfg.TraceThreshold,
 		Body:           cfg.Body,
 		Trace:          cfg.Trace,
+		Backend:        cfg.Backend,
 	})
 	clean := d.Run(nil, cfg.MaxSteps)
 	if clean.Stop.Reason != cpu.StopHalt {
@@ -394,6 +412,7 @@ func (cfg Config) runWarm(ctx context.Context, p *isa.Program, snap *dbt.Snapsho
 		Workers:   par.Workers(cfg.Workers, cfg.Samples),
 	}
 	rep.Translator = snap.Stats() // warm-up work; merge adds per-sample deltas
+	rep.Compiled = snap.CompStats()
 
 	cfg.Trace.Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: p.Name + "/" + tech})
 	shards := newShards(cfg.Metrics, rep.Workers)
@@ -411,6 +430,7 @@ func (cfg Config) runWarm(ctx context.Context, p *isa.Program, snap *dbt.Snapsho
 	flushShards(shards, cfg.Metrics)
 	if cfg.Metrics != nil {
 		rep.Translator.Publish(cfg.Metrics, tech)
+		rep.Compiled.Publish(cfg.Metrics, tech)
 		cfg.Metrics.Gauge(seriesName("dbt_code_cache_instrs", tech)).Max(int64(snap.CacheLen()))
 	}
 	cfg.Trace.Emit(obs.Event{Kind: obs.EvCampaignEnd, Value: int64(cfg.Samples), Detail: p.Name + "/" + tech})
@@ -440,6 +460,7 @@ func runReplaySamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Rep
 		sd := snap.NewDBT()
 		res := sd.Run(f, cfg.MaxSteps)
 		results[i].stats = res.Stats.Sub(base)
+		results[i].comp = res.Comp
 		if !f.Fired {
 			if shards != nil {
 				observeNotFired(shards[w], tech)

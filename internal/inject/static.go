@@ -7,12 +7,76 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/ckpt"
+	"repro/internal/comp"
 	"repro/internal/cpu"
 	"repro/internal/errmodel"
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
+
+// staticExec is the execution surface for native (no translator) sample
+// runs: the guest code, its shared predecoded plan, and — for the compiled
+// backend — a frozen block-compiled engine whose entry points are the
+// program's own CFG block starts. The plan and the frozen core are shared
+// read-only by every worker; each sample takes a fresh per-view clone so
+// its chain-hit counters merge worker-invariantly.
+type staticExec struct {
+	backend comp.Backend
+	code    []isa.Instr
+	plan    cpu.Plan
+	eng     *comp.Engine // frozen; nil for interpreter backends
+}
+
+func newStaticExec(p *isa.Program, g *cfg.Graph, backend comp.Backend) *staticExec {
+	se := &staticExec{backend: backend, code: p.Code, plan: cpu.NewPlan(p.Code, nil)}
+	if backend.Compiled() {
+		se.eng = comp.NewEngine(p.Code, nil, 0)
+		starts := make([]uint32, len(g.Blocks))
+		for i, b := range g.Blocks {
+			starts[i] = b.Start
+		}
+		se.eng.Freeze(starts)
+	}
+	return se
+}
+
+// baseline is the one-time compilation work (the freeze), credited to the
+// campaign report the way snapshot warm-up work is for translated runs.
+func (se *staticExec) baseline() comp.Stats {
+	if se.eng == nil {
+		return comp.Stats{}
+	}
+	return se.eng.Stats
+}
+
+// view returns a per-sample engine view (nil for interpreter backends).
+func (se *staticExec) view() *comp.Engine {
+	if se.eng == nil {
+		return nil
+	}
+	return se.eng.Clone()
+}
+
+// run advances m on the selected backend until a stop or the step budget.
+func (se *staticExec) run(v *comp.Engine, m *cpu.Machine, maxSteps uint64) cpu.Stop {
+	switch se.backend {
+	case comp.BackendStep:
+		return m.Run(se.code, maxSteps)
+	case comp.BackendPlan:
+		return m.RunPlan(&se.plan, maxSteps)
+	default: // BackendAuto, BackendCompile
+		return v.Run(m, &se.plan, maxSteps)
+	}
+}
+
+// stats returns the view's accumulated per-sample work.
+func (se *staticExec) stats(v *comp.Engine) comp.Stats {
+	if v == nil {
+		return comp.Stats{}
+	}
+	return v.Stats
+}
 
 // StaticCampaign injects single faults into a program executed directly on
 // the machine (no translator). It is RunStatic with a background context —
@@ -78,15 +142,18 @@ func (cfgn Config) RunStaticWarm(ctx context.Context, p *isa.Program, label stri
 	cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: p.Name + "/" + label})
 	shards := newShards(cfgn.Metrics, rep.Workers)
 	results := make([]sampleResult, cfgn.Samples)
+	se := newStaticExec(p, g, cfgn.Backend)
+	rep.Compiled = se.baseline()
 	if cfgn.CkptInterval != 0 {
 		// Checkpoint engine: the native recording run doubles as the clean
 		// reference (native execution is trivially deterministic, so its
 		// geometry matches the clean run above exactly).
-		if err := runStaticCkptSamples(ctx, p, g, &cfgn, rep, label, shards, results, cleanSteps, log); err != nil {
+		if err := runStaticCkptSamples(ctx, p, g, se, &cfgn, rep, label, shards, results, cleanSteps, log); err != nil {
 			return nil, err
 		}
 		rep.merge(results, cfgn.KeepRecords)
 		flushShards(shards, cfgn.Metrics)
+		rep.Compiled.Publish(cfgn.Metrics, label)
 		cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignEnd, Value: int64(cfgn.Samples), Detail: p.Name + "/" + label})
 		return rep, nil
 	}
@@ -97,7 +164,9 @@ func (cfgn Config) RunStaticWarm(ctx context.Context, p *isa.Program, label stri
 		m := cpu.New()
 		m.Reset(p)
 		m.Fault = f
-		stop := m.Run(p.Code, cfgn.MaxSteps)
+		v := se.view()
+		stop := se.run(v, m, cfgn.MaxSteps)
+		results[i].comp = se.stats(v)
 		cpu.TraceRunOutcome(cfgn.Trace, m, stop)
 		if !f.Fired {
 			if shards != nil {
@@ -122,7 +191,8 @@ func (cfgn Config) RunStaticWarm(ctx context.Context, p *isa.Program, label stri
 		if shards != nil {
 			observeSample(shards[w], label, &rec, m.SigChecks, 0)
 		}
-		results[i] = sampleResult{fired: true, rec: rec}
+		results[i].fired = true
+		results[i].rec = rec
 		return nil
 	})
 	rep.Elapsed = time.Since(start)
@@ -131,6 +201,7 @@ func (cfgn Config) RunStaticWarm(ctx context.Context, p *isa.Program, label stri
 	}
 	rep.merge(results, cfgn.KeepRecords)
 	flushShards(shards, cfgn.Metrics)
+	rep.Compiled.Publish(cfgn.Metrics, label)
 	cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignEnd, Value: int64(cfgn.Samples), Detail: p.Name + "/" + label})
 	return rep, nil
 }
