@@ -7,9 +7,17 @@
 //	                      "style":"CMOVcc","policy":"ALLBB","ckpt_interval":-1,
 //	                      "campaigns":[{"seed":1,"samples":200}]}
 //	                     → NDJSON, one record per campaign as it completes
+//	                       ("progress_ms":N interleaves live progress frames)
+//	GET  /v1/campaigns/{id}/progress   poll a running batch's progress
+//	POST /v1/bench       run the bench suite (figures 12/14/15, baseline,
+//	                     ablations, coverage matrix) through the warm
+//	                     registry → NDJSON rows, tables and span timings
 //	GET  /v1/sessions    warm-session inventory
-//	GET  /metrics        Prometheus text exposition
+//	GET  /v1/version     build and configuration info
+//	GET  /metrics        Prometheus text exposition (incl. Go runtime gauges)
 //	GET  /healthz        liveness
+//
+// -debug-addr serves net/http/pprof on a second loopback listener.
 //
 // Reports are byte-identical to the equivalent cfc-inject invocation for
 // every worker count and cache temperature. SIGINT/SIGTERM drains in-flight
@@ -30,12 +38,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr serves the default mux's profiles
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/obs"
 	"repro/internal/session"
@@ -44,6 +54,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8321", "listen address")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
 		cacheDir    = flag.String("cache-dir", "", "persist checkpoint logs under this directory")
 		maxSessions = flag.Int("max-sessions", 64, "warm sessions kept before LRU eviction (<=0 unbounded)")
 		benchOut    = flag.String("bench-json", "", "run the cold-vs-warm serving benchmark, write the record here, and exit")
@@ -72,6 +83,16 @@ func main() {
 		return
 	}
 
+	if *debugAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "cfc-serve: pprof on http://%s/debug/pprof/\n", *debugAddr)
+			// http.DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "cfc-serve: debug listener:", err)
+			}
+		}()
+	}
+
 	// First signal: stop accepting and drain in-flight campaigns. Second:
 	// cancel the campaigns themselves (every handler's request context is
 	// derived from runCtx via BaseContext).
@@ -80,9 +101,15 @@ func main() {
 	runCtx, cancelRuns := context.WithCancel(context.Background())
 	defer cancelRuns()
 
+	// The bench suite shares the warm registry but lives in package bench
+	// (which imports session), so it mounts on an outer mux.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("POST /v1/bench", bench.Handler(registry, reg))
+
 	hs := &http.Server{
 		Addr:        *addr,
-		Handler:     srv.Handler(),
+		Handler:     mux,
 		BaseContext: func(net.Listener) context.Context { return runCtx },
 	}
 	errc := make(chan error, 1)
@@ -93,6 +120,11 @@ func main() {
 
 	select {
 	case err := <-errc:
+		// The listener died on its own; still flush and close the
+		// observability sinks before exiting.
+		if cerr := app.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "cfc-serve:", cerr)
+		}
 		fatalIf(err)
 	case <-ctx.Done():
 		stop() // restore default handling: a second signal now cancels below

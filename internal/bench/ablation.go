@@ -31,6 +31,10 @@ type AblationRow struct {
 //   - data-flow checking alone, and stacked on RCF (the paper's future
 //     work, with and without compare-operand checks)
 func Ablations(scale float64, workers int) ([]AblationRow, error) {
+	return ablations(scale, workers, nil)
+}
+
+func ablations(scale float64, workers int, build buildFn) ([]AblationRow, error) {
 	type cfg struct {
 		name string
 		note string
@@ -67,9 +71,10 @@ func Ablations(scale float64, workers int) ([]AblationRow, error) {
 	// perWorkload[w][c]: workload w's ratio under configuration c; the jobs
 	// fan across workers, the geomeans fold in workload order.
 	perWorkload := make([][]float64, len(profs))
+	bf := buildOrDefault(build)
 	err := par.ForEach(len(profs), workers, func(w int) error {
 		prof := profs[w]
-		p, err := prof.Build(scale)
+		p, err := bf(prof.Name, scale)
 		if err != nil {
 			return err
 		}

@@ -94,15 +94,40 @@ func dbtCycles(p *isa.Program, tech dbt.Technique, pol dbt.Policy) (uint64, erro
 	return res.Cycles, nil
 }
 
+// buildFn builds the named workload at the given scale. The figure
+// generators default to a private workloads.ByName build per job; the
+// bench suite passes session.Registry.Program instead, so each workload
+// builds once and is shared across every figure (and with any warm
+// campaign sessions in the same process).
+type buildFn func(name string, scale float64) (*isa.Program, error)
+
+// buildOrDefault resolves a nil build function to the private per-job
+// build.
+func buildOrDefault(build buildFn) buildFn {
+	if build != nil {
+		return build
+	}
+	return func(name string, scale float64) (*isa.Program, error) {
+		prof, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return prof.Build(scale)
+	}
+}
+
 // slowdownRows measures one row per workload — the baseline plus each
 // configuration's cycles — fanning the workloads across workers. Rows come
-// back in workload order whatever the worker count.
-func slowdownRows(scale float64, workers int, configs func(p *isa.Program, base uint64) ([]float64, error)) ([]SlowdownRow, error) {
+// back in workload order whatever the worker count. onRow, when non-nil,
+// receives each row as its job completes (from the worker goroutine, in
+// completion order — callers that stream must serialize).
+func slowdownRows(scale float64, workers int, build buildFn, onRow func(SlowdownRow), configs func(p *isa.Program, base uint64) ([]float64, error)) ([]SlowdownRow, error) {
 	profs := workloads.All()
 	rows := make([]SlowdownRow, len(profs))
+	bf := buildOrDefault(build)
 	err := par.ForEach(len(profs), workers, func(i int) error {
 		prof := profs[i]
-		p, err := prof.Build(scale)
+		p, err := bf(prof.Name, scale)
 		if err != nil {
 			return err
 		}
@@ -115,6 +140,9 @@ func slowdownRows(scale float64, workers int, configs func(p *isa.Program, base 
 			return err
 		}
 		rows[i] = SlowdownRow{Name: prof.Name, Suite: prof.Suite, Slowdown: slow}
+		if onRow != nil {
+			onRow(rows[i])
+		}
 		return nil
 	})
 	if err != nil {
@@ -126,6 +154,10 @@ func slowdownRows(scale float64, workers int, configs func(p *isa.Program, base 
 // Figure12 measures the per-benchmark slowdown of RCF, EdgCF and ECF
 // (Jcc update style, ALLBB policy) relative to the uninstrumented DBT.
 func Figure12(scale float64, workers int) (*SlowdownTable, error) {
+	return figure12(scale, workers, nil, nil)
+}
+
+func figure12(scale float64, workers int, build buildFn, onRow func(SlowdownRow)) (*SlowdownTable, error) {
 	techs := check.DBTTechniques(dbt.UpdateJcc)
 	names := make([]string, len(techs))
 	for i, tc := range techs {
@@ -135,7 +167,7 @@ func Figure12(scale float64, workers int) (*SlowdownTable, error) {
 		Title:   "Figure 12 - performance slowdown (Jcc update, ALLBB policy)",
 		Configs: names,
 	}
-	rows, err := slowdownRows(scale, workers, func(p *isa.Program, base uint64) ([]float64, error) {
+	rows, err := slowdownRows(scale, workers, build, onRow, func(p *isa.Program, base uint64) ([]float64, error) {
 		var slow []float64
 		for _, tc := range techs {
 			c, err := dbtCycles(p, tc, dbt.PolicyAllBB)
@@ -166,13 +198,22 @@ type Figure14Table struct {
 
 // Figure14 measures geometric-mean slowdowns for both update styles.
 func Figure14(scale float64, workers int) (*Figure14Table, error) {
+	return figure14(scale, workers, nil, nil)
+}
+
+func figure14(scale float64, workers int, build buildFn, onRow func(style string, r SlowdownRow)) (*Figure14Table, error) {
 	out := &Figure14Table{
 		Techniques: []string{"RCF", "EdgCF", "ECF"},
 		Styles:     []string{"Jcc", "CMOVcc"},
 	}
 	for si, style := range []dbt.UpdateStyle{dbt.UpdateJcc, dbt.UpdateCmov} {
 		techs := check.DBTTechniques(style)
-		rows, err := slowdownRows(scale, workers, func(p *isa.Program, base uint64) ([]float64, error) {
+		var rowHook func(SlowdownRow)
+		if onRow != nil {
+			name := out.Styles[si]
+			rowHook = func(r SlowdownRow) { onRow(name, r) }
+		}
+		rows, err := slowdownRows(scale, workers, build, rowHook, func(p *isa.Program, base uint64) ([]float64, error) {
 			var slow []float64
 			for _, tc := range techs {
 				c, err := dbtCycles(p, tc, dbt.PolicyAllBB)
@@ -200,6 +241,10 @@ func Figure14(scale float64, workers int) (*Figure14Table, error) {
 // Figure15 measures the RCF technique under the four signature checking
 // policies.
 func Figure15(scale float64, workers int) (*SlowdownTable, error) {
+	return figure15(scale, workers, nil, nil)
+}
+
+func figure15(scale float64, workers int, build buildFn, onRow func(SlowdownRow)) (*SlowdownTable, error) {
 	pols := dbt.Policies()
 	names := make([]string, len(pols))
 	for i, pol := range pols {
@@ -209,7 +254,7 @@ func Figure15(scale float64, workers int) (*SlowdownTable, error) {
 		Title:   "Figure 15 - RCF slowdown under the checking policies",
 		Configs: names,
 	}
-	rows, err := slowdownRows(scale, workers, func(p *isa.Program, base uint64) ([]float64, error) {
+	rows, err := slowdownRows(scale, workers, build, onRow, func(p *isa.Program, base uint64) ([]float64, error) {
 		var slow []float64
 		for _, pol := range pols {
 			c, err := dbtCycles(p, &check.RCF{Style: dbt.UpdateJcc}, pol)
@@ -240,11 +285,16 @@ type BaselineRow struct {
 // DBTBaseline measures the uninstrumented translator against native
 // execution (the paper reports ~12% average).
 func DBTBaseline(scale float64, workers int) ([]BaselineRow, float64, error) {
+	return dbtBaseline(scale, workers, nil, nil)
+}
+
+func dbtBaseline(scale float64, workers int, build buildFn, onRow func(BaselineRow)) ([]BaselineRow, float64, error) {
 	profs := workloads.All()
 	rows := make([]BaselineRow, len(profs))
+	bf := buildOrDefault(build)
 	err := par.ForEach(len(profs), workers, func(i int) error {
 		prof := profs[i]
-		p, err := prof.Build(scale)
+		p, err := bf(prof.Name, scale)
 		if err != nil {
 			return err
 		}
@@ -262,6 +312,9 @@ func DBTBaseline(scale float64, workers int) ([]BaselineRow, float64, error) {
 			Native:   m.Cycles,
 			DBT:      dc,
 			Overhead: float64(dc)/float64(m.Cycles) - 1,
+		}
+		if onRow != nil {
+			onRow(rows[i])
 		}
 		return nil
 	})
@@ -333,6 +386,9 @@ type CoverageConfig struct {
 	// engine-telemetry footer (executed vs short-circuited samples) reflects
 	// which engine ran.
 	core.Options
+	// OnReport, when non-nil, receives each technique's merged report as it
+	// completes — the bench suite streams the matrix row by row.
+	OnReport func(*inject.Report)
 }
 
 // CoverageMatrix runs fault-injection campaigns for every technique
@@ -369,6 +425,9 @@ func CoverageMatrix(ctx context.Context, cfg CoverageConfig) ([]*inject.Report, 
 			mergeReports(merged, r)
 		}
 		reports = append(reports, merged)
+		if cfg.OnReport != nil {
+			cfg.OnReport(merged)
+		}
 	}
 	return reports, nil
 }

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/session"
+)
+
+// BenchRequest is the POST /v1/bench body. Every field is optional: an
+// empty body runs the default suite (scale 0.05, 200 coverage samples,
+// all figures).
+type BenchRequest struct {
+	Scale   float64  `json:"scale"`
+	Samples int      `json:"samples"`
+	Seed    int64    `json:"seed"`
+	Workers int      `json:"workers"`
+	Figures []string `json:"figures"`
+}
+
+// Handler serves the bench suite over the given warm-session registry as
+// an NDJSON stream of SuiteFrames, one per line, flushed as produced.
+// The handler lives here rather than in package session because bench
+// already imports session; cfc-serve mounts it next to the session
+// server's handler on an outer mux.
+func Handler(reg *session.Registry, metrics *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req BenchRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		RunSuite(r.Context(), SuiteConfig{
+			Scale:    req.Scale,
+			Samples:  req.Samples,
+			Seed:     req.Seed,
+			Figures:  req.Figures,
+			Sessions: reg,
+			Options:  core.Options{Metrics: metrics, Workers: req.Workers},
+		}, func(f SuiteFrame) error {
+			if err := enc.Encode(f); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+		// Errors after the first frame ride the stream as an "error"
+		// frame; the status line is already committed.
+	})
+}

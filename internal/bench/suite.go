@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/session"
+)
+
+// The bench suite: every performance figure and the coverage matrix as
+// one streamed run. RunSuite drives the same generators cfc-bench calls,
+// but builds every workload through a warm-session registry (each program
+// materializes once and is shared across all figures and any concurrent
+// campaign sessions) and emits its results incrementally as SuiteFrames —
+// the NDJSON protocol POST /v1/bench serves.
+
+// DefaultSuiteFigures is the figure set a zero SuiteConfig runs.
+var DefaultSuiteFigures = []string{"dbt", "12", "14", "15", "ablate", "coverage"}
+
+// SuiteConfig parameterizes one suite run.
+type SuiteConfig struct {
+	// Scale is the workload dynamic scale (0: 0.05, the serving default —
+	// full-scale figures belong to cfc-bench batch runs).
+	Scale float64
+	// Samples sizes the coverage-matrix campaigns (0: 200).
+	Samples int
+	// Seed seeds the coverage-matrix campaigns.
+	Seed int64
+	// Figures selects which figures run, in order (nil:
+	// DefaultSuiteFigures). Valid names: dbt, 12, 14, 15, ablate,
+	// coverage.
+	Figures []string
+	// Sessions is the warm-session registry programs build through; nil
+	// uses a private in-memory registry.
+	Sessions *session.Registry
+	// Options is the shared execution surface. Metrics additionally
+	// receives one bench_figure span per figure; Workers fans each
+	// figure's per-workload jobs.
+	core.Options
+}
+
+// SuiteFrame is one NDJSON record of a streamed suite run.
+type SuiteFrame struct {
+	// Kind: "start" (figure begins; Configs lists its columns), "row"
+	// (one benchmark / technique as it completes), "table" (the figure's
+	// formatted table, Text), "span" (the figure's wall-clock, Seconds),
+	// "error" (the figure failed, Error).
+	Kind   string `json:"kind"`
+	Figure string `json:"figure,omitempty"`
+	// Benchmark / Configs / Values carry slowdown rows: Values[i] is the
+	// benchmark's ratio under the figure's Configs[i].
+	Benchmark string    `json:"benchmark,omitempty"`
+	Configs   []string  `json:"configs,omitempty"`
+	Values    []float64 `json:"values,omitempty"`
+	// Technique / Coverage carry coverage-matrix rows (Coverage is the
+	// detected fraction of effective errors, 0..1).
+	Technique string  `json:"technique,omitempty"`
+	Coverage  float64 `json:"coverage,omitempty"`
+	Note      string  `json:"note,omitempty"`
+	Text      string  `json:"text,omitempty"`
+	Seconds   float64 `json:"seconds,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// RunSuite runs the selected figures in order, streaming frames through
+// emit. Rows arrive as each benchmark's measurement completes (emit is
+// serialized internally, so it may be called from worker goroutines'
+// callbacks); every figure ends with its formatted table and a span
+// frame. A failed figure emits an error frame and aborts the suite.
+func RunSuite(ctx context.Context, cfg SuiteConfig, emit func(SuiteFrame) error) error {
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.05
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 200
+	}
+	figures := cfg.Figures
+	if figures == nil {
+		figures = DefaultSuiteFigures
+	}
+	if cfg.Sessions == nil {
+		cfg.Sessions = session.NewRegistry(session.Config{Metrics: cfg.Metrics})
+	}
+	build := cfg.Sessions.Program
+
+	// emit must be serialized: row callbacks fire from the figure
+	// generators' worker goroutines. A failed emit (client gone) poisons
+	// the stream; the next between-rows check aborts the suite.
+	var mu sync.Mutex
+	var emitErr error
+	send := func(f SuiteFrame) {
+		mu.Lock()
+		defer mu.Unlock()
+		if emitErr != nil {
+			return
+		}
+		emitErr = emit(f)
+	}
+	broken := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return emitErr
+	}
+
+	for _, fig := range figures {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := broken(); err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := runFigure(ctx, cfg, fig, build, send); err != nil {
+			send(SuiteFrame{Kind: "error", Figure: fig, Error: err.Error()})
+			return err
+		}
+		d := time.Since(start)
+		cfg.Metrics.RecordSpan(fmt.Sprintf("bench_figure{figure=%q}", fig), d)
+		send(SuiteFrame{Kind: "span", Figure: fig, Seconds: d.Seconds()})
+	}
+	return broken()
+}
+
+// runFigure dispatches one figure, streaming its rows through send and
+// closing with the formatted table frame.
+func runFigure(ctx context.Context, cfg SuiteConfig, fig string, build buildFn, send func(SuiteFrame)) error {
+	switch fig {
+	case "dbt":
+		send(SuiteFrame{Kind: "start", Figure: fig, Configs: []string{"overhead"},
+			Note: "uninstrumented translator overhead vs native"})
+		rows, avg, err := dbtBaseline(cfg.Scale, cfg.Workers, build, func(r BaselineRow) {
+			send(SuiteFrame{Kind: "row", Figure: fig, Benchmark: r.Name, Values: []float64{r.Overhead}})
+		})
+		if err != nil {
+			return err
+		}
+		PublishBaseline(cfg.Metrics, rows, avg)
+		send(SuiteFrame{Kind: "table", Figure: fig, Text: FormatBaseline(rows, avg)})
+	case "12":
+		send(SuiteFrame{Kind: "start", Figure: fig, Configs: []string{"RCF", "EdgCF", "ECF"},
+			Note: "slowdown, Jcc update, ALLBB policy"})
+		t, err := figure12(cfg.Scale, cfg.Workers, build, func(r SlowdownRow) {
+			send(SuiteFrame{Kind: "row", Figure: fig, Benchmark: r.Name, Values: r.Slowdown})
+		})
+		if err != nil {
+			return err
+		}
+		PublishSlowdownTable(cfg.Metrics, fig, t)
+		send(SuiteFrame{Kind: "table", Figure: fig, Text: FormatSlowdownTable(t)})
+	case "14":
+		send(SuiteFrame{Kind: "start", Figure: fig, Configs: []string{"RCF", "EdgCF", "ECF"},
+			Note: "Jcc vs CMOVcc update styles"})
+		t, err := figure14(cfg.Scale, cfg.Workers, build, func(style string, r SlowdownRow) {
+			send(SuiteFrame{Kind: "row", Figure: fig, Benchmark: r.Name, Values: r.Slowdown, Note: style})
+		})
+		if err != nil {
+			return err
+		}
+		PublishFigure14(cfg.Metrics, t)
+		send(SuiteFrame{Kind: "table", Figure: fig, Text: FormatFigure14(t)})
+	case "15":
+		send(SuiteFrame{Kind: "start", Figure: fig, Configs: []string{"ALLBB", "RET-BE", "RET", "END"},
+			Note: "RCF under the checking policies"})
+		t, err := figure15(cfg.Scale, cfg.Workers, build, func(r SlowdownRow) {
+			send(SuiteFrame{Kind: "row", Figure: fig, Benchmark: r.Name, Values: r.Slowdown})
+		})
+		if err != nil {
+			return err
+		}
+		PublishSlowdownTable(cfg.Metrics, fig, t)
+		send(SuiteFrame{Kind: "table", Figure: fig, Text: FormatSlowdownTable(t)})
+	case "ablate":
+		send(SuiteFrame{Kind: "start", Figure: fig, Configs: []string{"slowdown"},
+			Note: "design-choice ablations vs the default translator"})
+		rows, err := ablations(cfg.Scale, cfg.Workers, build)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			send(SuiteFrame{Kind: "row", Figure: fig, Benchmark: r.Name,
+				Values: []float64{r.Slowdown}, Note: r.Note})
+		}
+		PublishAblations(cfg.Metrics, rows)
+		send(SuiteFrame{Kind: "table", Figure: fig, Text: FormatAblations(rows)})
+	case "coverage":
+		send(SuiteFrame{Kind: "start", Figure: fig, Configs: CoverageTechniques,
+			Note: "fault-injection coverage matrix"})
+		reports, err := CoverageMatrix(ctx, CoverageConfig{
+			Scale: cfg.Scale, Samples: cfg.Samples, Seed: cfg.Seed,
+			Sessions: cfg.Sessions, Options: cfg.Options,
+			OnReport: func(r *inject.Report) {
+				send(SuiteFrame{Kind: "row", Figure: fig, Technique: r.Technique,
+					Coverage: r.Totals.Coverage()})
+			},
+		})
+		if err != nil {
+			return err
+		}
+		PublishCoverage(cfg.Metrics, fig, reports)
+		send(SuiteFrame{Kind: "table", Figure: fig, Text: FormatCoverageMatrix(reports)})
+	default:
+		return fmt.Errorf("unknown figure %q (valid: dbt, 12, 14, 15, ablate, coverage)", fig)
+	}
+	return nil
+}

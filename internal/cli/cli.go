@@ -1,10 +1,10 @@
 // Package cli binds the execution-surface flags shared by every cmd/
-// tool: the observability pair (-trace, -metrics), the profiling pair
-// (-cpuprofile, -memprofile) and the campaign knobs (-workers,
-// -ckpt-interval, -backend) that core.Options carries. Binding them in one place
-// keeps the six CLIs and cfc-serve presenting an identical surface, and
-// Options() hands the parsed result straight to any campaign entry point
-// that embeds core.Options.
+// tool: the observability set (-trace, -metrics, -progress, -flight,
+// -flight-depth), the profiling pair (-cpuprofile, -memprofile) and the
+// campaign knobs (-workers, -ckpt-interval, -backend) that core.Options
+// carries. Binding them in one place keeps the six CLIs and cfc-serve
+// presenting an identical surface, and Options() hands the parsed result
+// straight to any campaign entry point that embeds core.Options.
 package cli
 
 import (
@@ -13,6 +13,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/comp"
 	"repro/internal/core"
@@ -41,13 +42,28 @@ type App struct {
 	// "auto" (the block-compiled engine — every backend is byte-identical,
 	// only wall-clock changes).
 	Backend string
+	// Progress is the parsed -progress interval. Non-zero starts a stderr
+	// ticker printing live campaign progress (done/total, throughput, ETA,
+	// outcome tallies); the tracker never feeds back into campaigns, so
+	// results stay byte-identical.
+	Progress time.Duration
+	// Flight / FlightDepth are the parsed -flight output path and ring
+	// depth. A non-empty path arms the per-sample flight recorder: every
+	// anomalous outcome (SDC, hang) dumps its last FlightDepth events as
+	// one JSONL line.
+	Flight      string
+	FlightDepth int
 
-	backend comp.Backend
-	cpuFile *os.File
+	backend  comp.Backend
+	cpuFile  *os.File
+	progress *obs.Progress
+	flight   *obs.FlightRecorder
+	tickStop chan struct{}
+	tickDone chan struct{}
 }
 
-// BindFlags registers -trace, -metrics, -cpuprofile, -memprofile, -workers
-// and -ckpt-interval on fs, using the current field values as defaults.
+// BindFlags registers the shared flags on fs, using the current field
+// values as defaults.
 func (a *App) BindFlags(fs *flag.FlagSet) {
 	a.CLI.BindFlags(fs)
 	fs.IntVar(&a.Workers, "workers", a.Workers, "worker goroutines (0 = GOMAXPROCS)")
@@ -60,11 +76,21 @@ func (a *App) BindFlags(fs *flag.FlagSet) {
 	}
 	fs.StringVar(&a.Backend, "backend", a.Backend,
 		"execution backend: auto, step, plan or compile (all byte-identical)")
+	fs.DurationVar(&a.Progress, "progress", a.Progress,
+		"print live campaign progress to stderr every `interval` (0 = off)")
+	fs.StringVar(&a.Flight, "flight", a.Flight,
+		"write per-sample flight-recorder dumps (JSONL) for anomalous outcomes to `file`")
+	if a.FlightDepth == 0 {
+		a.FlightDepth = obs.DefaultFlightDepth
+	}
+	fs.IntVar(&a.FlightDepth, "flight-depth", a.FlightDepth,
+		"flight-recorder ring depth: last `n` events kept per dumped sample")
 }
 
-// Open materializes the observability sinks and, when -cpuprofile was
-// given, starts CPU profiling. It shadows the embedded obs.CLI.Open so
-// every tool picks the profiling surface up for free.
+// Open materializes the observability sinks, starts the progress ticker
+// and, when -cpuprofile was given, starts CPU profiling. It shadows the
+// embedded obs.CLI.Open so every tool picks the whole surface up for
+// free.
 func (a *App) Open() error {
 	b, err := comp.ParseBackend(a.Backend)
 	if err != nil {
@@ -73,6 +99,19 @@ func (a *App) Open() error {
 	a.backend = b
 	if err := a.CLI.Open(); err != nil {
 		return err
+	}
+	if a.Flight != "" {
+		f, err := os.Create(a.Flight)
+		if err != nil {
+			return fmt.Errorf("open flight: %w", err)
+		}
+		a.flight = obs.NewFlightRecorder(f, a.FlightDepth)
+	}
+	if a.Progress > 0 {
+		a.progress = obs.NewProgress()
+		a.tickStop = make(chan struct{})
+		a.tickDone = make(chan struct{})
+		go a.tick()
 	}
 	if a.CPUProfile != "" {
 		f, err := os.Create(a.CPUProfile)
@@ -88,10 +127,45 @@ func (a *App) Open() error {
 	return nil
 }
 
-// Close stops the CPU profile, writes the heap profile if requested, and
-// flushes the observability sinks.
+// tick prints the progress line at the configured interval until Close.
+func (a *App) tick() {
+	defer close(a.tickDone)
+	t := time.NewTicker(a.Progress)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.tickStop:
+			return
+		case <-t.C:
+			if s := a.progress.Snapshot(); s.Total > 0 {
+				fmt.Fprintf(os.Stderr, "progress: %s\n", s)
+			}
+		}
+	}
+}
+
+// Close stops the progress ticker (printing a final line), closes the
+// flight recorder, stops the CPU profile, writes the heap profile if
+// requested, and flushes the observability sinks.
 func (a *App) Close() error {
 	var first error
+	if a.tickStop != nil {
+		close(a.tickStop)
+		<-a.tickDone
+		a.tickStop, a.tickDone = nil, nil
+		if s := a.progress.Snapshot(); s.Total > 0 {
+			fmt.Fprintf(os.Stderr, "progress: %s\n", s)
+		}
+	}
+	if a.flight != nil {
+		if n := a.flight.Dumps(); n > 0 {
+			fmt.Fprintf(os.Stderr, "flight: %d anomalous sample(s) dumped to %s\n", n, a.Flight)
+		}
+		if err := a.flight.Close(); err != nil && first == nil {
+			first = fmt.Errorf("flight: %w", err)
+		}
+		a.flight = nil
+	}
 	if a.cpuFile != nil {
 		pprof.StopCPUProfile()
 		if err := a.cpuFile.Close(); err != nil && first == nil {
@@ -123,7 +197,8 @@ func (a *App) Close() error {
 }
 
 // Options returns the parsed execution surface. Call after Open: the
-// tracer and registry are nil until then.
+// tracer, registry, progress tracker and flight recorder are nil until
+// then.
 func (a *App) Options() core.Options {
 	return core.Options{
 		Trace:        a.Tracer(),
@@ -131,5 +206,7 @@ func (a *App) Options() core.Options {
 		Workers:      a.Workers,
 		CkptInterval: a.CkptInterval,
 		Backend:      a.backend,
+		Progress:     a.progress,
+		Flight:       a.flight,
 	}
 }

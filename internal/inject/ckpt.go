@@ -138,9 +138,11 @@ func runCkptSamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Repor
 	tech string, shards []*obs.Collector, results []sampleResult, cleanSteps uint64, log *ckpt.Log) error {
 	start := time.Now()
 	if log == nil {
+		record := phaseSpan(cfg.Metrics, tech, "record")
 		interval := ckpt.AutoInterval(cfg.CkptInterval, cleanSteps)
 		var err error
 		log, err = ckpt.Record(snap, interval, cfg.MaxSteps)
+		record.End()
 		if err != nil {
 			return fmt.Errorf("%s: %v", p.Name, err)
 		}
@@ -169,9 +171,14 @@ func runCkptSamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Repor
 	base := snap.Stats()
 	// Liveness over the snapshot cache powers the dead-bit prune; the
 	// analysis is shared read-only by every worker.
+	prune := phaseSpan(cfg.Metrics, tech, "prune")
 	li := snap.Liveness()
+	prune.End()
 	workers := rep.Workers
+	injSpan := phaseSpan(cfg.Metrics, tech, "inject")
 	err := par.RunWorkersCtx(ctx, workers, func(ctx context.Context, w int) error {
+		ws := injSpan.Child(fmt.Sprintf("worker%d", w))
+		defer ws.End()
 		var c *obs.Collector
 		if shards != nil {
 			c = shards[w]
@@ -183,9 +190,12 @@ func runCkptSamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Repor
 			}
 			i := order[j]
 			runCkptSample(cfg, snap, base, log, r, li, tech, c, faults[i], points[i], i, want, &results[i])
+			dumpFlightDBT(cfg, snap, p.Name, tech, i, want, &results[i])
+			observeProgress(cfg.Progress, w, &results[i])
 		}
 		return nil
 	})
+	injSpan.End()
 	rep.Elapsed = time.Since(start)
 	return err
 }
@@ -282,9 +292,11 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, se 
 	label string, shards []*obs.Collector, results []sampleResult, cleanSteps uint64, log *ckpt.Log) error {
 	start := time.Now()
 	if log == nil {
+		record := phaseSpan(cfgn.Metrics, label, "record")
 		interval := ckpt.AutoInterval(cfgn.CkptInterval, cleanSteps)
 		var err error
 		log, err = ckpt.RecordStatic(p, interval, cfgn.MaxSteps)
+		record.End()
 		if err != nil {
 			return fmt.Errorf("%s: %v", p.Name, err)
 		}
@@ -308,9 +320,14 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, se 
 	// The program is fixed for native runs, so the shared plan, the frozen
 	// compiled engine and one liveness analysis serve every worker
 	// read-only (samples take per-view engine clones).
+	prune := phaseSpan(cfgn.Metrics, label, "prune")
 	li := live.Analyze(g)
+	prune.End()
 	workers := rep.Workers
+	injSpan := phaseSpan(cfgn.Metrics, label, "inject")
 	err := par.RunWorkersCtx(ctx, workers, func(ctx context.Context, w int) error {
+		ws := injSpan.Child(fmt.Sprintf("worker%d", w))
+		defer ws.End()
 		var c *obs.Collector
 		if shards != nil {
 			c = shards[w]
@@ -357,6 +374,7 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, se 
 					observeSample(c, label, &rec, log.Final.SigChecks, 0)
 				}
 				results[i] = sampleResult{fired: true, rec: rec, short: short, comp: cst}
+				observeProgress(cfgn.Progress, w, &results[i])
 				continue
 			}
 			cpu.TraceRunOutcome(cfgn.Trace, m, stop)
@@ -364,6 +382,7 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, se 
 				if c != nil {
 					observeNotFired(c, label)
 				}
+				observeProgress(cfgn.Progress, w, &results[i])
 				continue
 			}
 			rec := Record{
@@ -384,9 +403,12 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, se 
 				observeSample(c, label, &rec, m.SigChecks, 0)
 			}
 			results[i] = sampleResult{fired: true, rec: rec, comp: cst}
+			dumpFlightStatic(cfgn, p, label, i, want, &results[i])
+			observeProgress(cfgn.Progress, w, &results[i])
 		}
 		return nil
 	})
+	injSpan.End()
 	rep.Elapsed = time.Since(start)
 	return err
 }

@@ -1,0 +1,136 @@
+package inject
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/dbt"
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// Flight-recorder integration. Campaigns never pay for forensics on the
+// hot path: when a sample classifies as anomalous (SDC, hang), it is
+// deterministically re-run from the same planted fault with a branch hook
+// filling a fixed-size event ring, and the ring's tail is dumped as one
+// JSONL line. The hook forces the interpreter path (the compiled backend
+// self-disables and the plan loop leaves its hot span when a hook is
+// set), but every backend is architecturally identical, so the re-run
+// reproduces the campaign's classification — a Replayed/Outcome mismatch
+// in a dump is itself a finding.
+
+// anomalous reports whether an outcome warrants a forensic dump.
+func anomalous(o Outcome) bool { return o == OutSDC || o == OutHang }
+
+// sampleSeed is the derived per-sample seed dumps are keyed by: the
+// splitmix state newSampleRNG builds from (campaign seed, index), enough
+// to replay one sample without re-deriving the whole campaign.
+func sampleSeed(seed int64, index int) uint64 { return newSampleRNG(seed, index).state }
+
+// plannedOnly strips the firing telemetry from a fault, leaving only the
+// planted coordinates — the re-run must fire it afresh.
+func plannedOnly(f cpu.Fault) cpu.Fault {
+	return cpu.Fault{
+		BranchIndex: f.BranchIndex,
+		Kind:        f.Kind,
+		Bit:         f.Bit,
+		StepIndex:   f.StepIndex,
+		Reg:         f.Reg,
+	}
+}
+
+// ringHook returns a BranchHook that appends one EvBranch event per
+// executed direct branch. m.Steps is synced before the hook fires, so the
+// captured step counts are exact.
+func ringHook(ring *obs.Ring, m *cpu.Machine) func(cpu.BranchEvent) {
+	return func(ev cpu.BranchEvent) {
+		detail := "fall-through"
+		if ev.Taken {
+			detail = "taken"
+		}
+		ring.Append(obs.Event{
+			Kind:   obs.EvBranch,
+			Step:   m.Steps,
+			Addr:   ev.IP,
+			Value:  int64(ev.Target),
+			Detail: detail,
+		})
+	}
+}
+
+// faultDetail renders the planted fault for the dump.
+func faultDetail(f *cpu.Fault) string {
+	switch f.Kind {
+	case cpu.FaultOffsetBit:
+		return fmt.Sprintf("offset-bit %d at branch %d", f.Bit, f.BranchIndex)
+	case cpu.FaultFlagBit:
+		return fmt.Sprintf("flag-bit %d at branch %d", f.Bit, f.BranchIndex)
+	default:
+		return fmt.Sprintf("reg %d bit %d at step %d", f.Reg, f.Bit, f.StepIndex)
+	}
+}
+
+// dumpFlightDBT re-runs one anomalous translated sample on a fresh
+// snapshot clone with the ring hook attached and dumps the forensic
+// record. No-op unless cfg.Flight is set and the sample fired an
+// anomalous outcome.
+func dumpFlightDBT(cfg *Config, snap *dbt.Snapshot, program, tech string, i int, want []int32, s *sampleResult) {
+	if cfg.Flight == nil || !s.fired || !anomalous(s.rec.Outcome) {
+		return
+	}
+	f := plannedOnly(s.rec.Fault)
+	ring := obs.NewRing(cfg.Flight.Depth())
+	sd := snap.NewDBT()
+	m, res := sd.Start(&f)
+	if res == nil {
+		m.BranchHook = ringHook(ring, m)
+		res = sd.Finish(m, sd.Advance(m, cfg.MaxSteps))
+	}
+	if f.Fired {
+		ring.Append(obs.Event{Kind: obs.EvFaultFired, Step: f.FiredStep, Addr: f.FaultIP, Detail: faultDetail(&f)})
+	}
+	ring.Append(obs.Event{Kind: obs.EvStop, Step: res.Steps, Addr: res.Stop.IP, Detail: res.Stop.String()})
+	cfg.Flight.Dump(obs.FlightDump{
+		Sample:     i,
+		SampleSeed: sampleSeed(cfg.Seed, i),
+		Program:    program,
+		Technique:  tech,
+		Outcome:    s.rec.Outcome.String(),
+		Replayed:   classifyOutcome(res, want).String(),
+		Fault:      faultDetail(&f),
+		Stop:       res.Stop.String(),
+		Dropped:    ring.Dropped(),
+		Events:     ring.Events(),
+	})
+}
+
+// dumpFlightStatic is dumpFlightDBT for native (no translator) campaigns:
+// the re-run executes guest code directly on a fresh machine.
+func dumpFlightStatic(cfgn *Config, p *isa.Program, label string, i int, want []int32, s *sampleResult) {
+	if cfgn.Flight == nil || !s.fired || !anomalous(s.rec.Outcome) {
+		return
+	}
+	f := plannedOnly(s.rec.Fault)
+	ring := obs.NewRing(cfgn.Flight.Depth())
+	m := cpu.New()
+	m.Reset(p)
+	m.Fault = &f
+	m.BranchHook = ringHook(ring, m)
+	stop := m.Run(p.Code, cfgn.MaxSteps)
+	if f.Fired {
+		ring.Append(obs.Event{Kind: obs.EvFaultFired, Step: f.FiredStep, Addr: f.FaultIP, Detail: faultDetail(&f)})
+	}
+	ring.Append(obs.Event{Kind: obs.EvStop, Step: m.Steps, Addr: stop.IP, Detail: stop.String()})
+	cfgn.Flight.Dump(obs.FlightDump{
+		Sample:     i,
+		SampleSeed: sampleSeed(cfgn.Seed, i),
+		Program:    p.Name,
+		Technique:  label,
+		Outcome:    s.rec.Outcome.String(),
+		Replayed:   classifyStaticOutcome(stop, m.Output, want).String(),
+		Fault:      faultDetail(&f),
+		Stop:       stop.String(),
+		Dropped:    ring.Dropped(),
+		Events:     ring.Events(),
+	})
+}

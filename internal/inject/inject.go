@@ -195,6 +195,18 @@ type Options struct {
 	// BackendAuto resolves to the compiled backend. Classified reports are
 	// byte-identical across backends; only wall-clock changes.
 	Backend comp.Backend
+	// Progress, when non-nil, receives live campaign progress: per-worker
+	// atomic counters of finished samples and running outcome tallies. The
+	// counters never feed back into the campaign, so enabling progress
+	// leaves classified reports byte-identical.
+	Progress *obs.Progress
+	// Flight, when non-nil, receives a forensic dump for every anomalous
+	// sample (SDC, hang): the sample is deterministically re-run with a
+	// branch hook filling a fixed-size event ring, and the ring's tail is
+	// written as one JSONL line keyed by the sample's derived seed. The
+	// re-run happens off the campaign's critical state (a fresh snapshot
+	// clone / machine), so reports stay byte-identical.
+	Flight *obs.FlightRecorder
 }
 
 // Config parameterizes a campaign.
@@ -380,7 +392,9 @@ func Campaign(p *isa.Program, cfg Config) (*Report, error) {
 // checkpoint engine only change the wall-clock.
 func (cfg Config) Run(ctx context.Context, p *isa.Program) (*Report, error) {
 	cfg.applyDefaults()
+	warm := phaseSpan(cfg.Metrics, techName(cfg.Technique), "warm")
 	snap, clean, err := Warm(p, cfg)
+	warm.End()
 	if err != nil {
 		return nil, err
 	}
@@ -398,11 +412,16 @@ func (cfg Config) RunWarm(ctx context.Context, p *isa.Program, snap *dbt.Snapsho
 	return cfg.runWarm(ctx, p, snap, cleanSteps, log)
 }
 
-func (cfg Config) runWarm(ctx context.Context, p *isa.Program, snap *dbt.Snapshot, cleanSteps uint64, log *ckpt.Log) (*Report, error) {
-	tech := "none"
-	if cfg.Technique != nil {
-		tech = cfg.Technique.Name()
+// techName renders the technique label used by metric series and spans.
+func techName(t dbt.Technique) string {
+	if t == nil {
+		return "none"
 	}
+	return t.Name()
+}
+
+func (cfg Config) runWarm(ctx context.Context, p *isa.Program, snap *dbt.Snapshot, cleanSteps uint64, log *ckpt.Log) (*Report, error) {
+	tech := techName(cfg.Technique)
 	rep := &Report{
 		Program:   p.Name,
 		Technique: tech,
@@ -415,6 +434,7 @@ func (cfg Config) runWarm(ctx context.Context, p *isa.Program, snap *dbt.Snapsho
 	rep.Compiled = snap.CompStats()
 
 	cfg.Trace.Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: p.Name + "/" + tech})
+	cfg.Progress.Begin(cfg.Samples, rep.Workers, progressLabels())
 	shards := newShards(cfg.Metrics, rep.Workers)
 	results := make([]sampleResult, cfg.Samples)
 	var err error
@@ -426,8 +446,10 @@ func (cfg Config) runWarm(ctx context.Context, p *isa.Program, snap *dbt.Snapsho
 	if err != nil {
 		return nil, err
 	}
+	mg := phaseSpan(cfg.Metrics, tech, "merge")
 	rep.merge(results, cfg.KeepRecords)
 	flushShards(shards, cfg.Metrics)
+	mg.End()
 	if cfg.Metrics != nil {
 		rep.Translator.Publish(cfg.Metrics, tech)
 		rep.Compiled.Publish(cfg.Metrics, tech)
@@ -445,7 +467,9 @@ func runReplaySamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Rep
 	tech string, shards []*obs.Collector, results []sampleResult) error {
 	start := time.Now()
 	base := snap.Stats()
+	record := phaseSpan(cfg.Metrics, tech, "record")
 	ref := snap.NewDBT().Run(nil, cfg.MaxSteps)
+	record.End()
 	if ref.Stop.Reason != cpu.StopHalt {
 		return fmt.Errorf("%s: clean run ended with %v", p.Name, ref.Stop)
 	}
@@ -455,7 +479,10 @@ func runReplaySamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Rep
 	if branches == 0 {
 		return fmt.Errorf("%s: no branches to fault", p.Name)
 	}
+	injSpan := phaseSpan(cfg.Metrics, tech, "inject")
 	err := par.ForEachShardCtx(ctx, cfg.Samples, rep.Workers, func(w, i int) error {
+		defer observeProgress(cfg.Progress, w, &results[i])
+		defer dumpFlightDBT(cfg, snap, p.Name, tech, i, want, &results[i])
 		f := deriveFault(cfg, i, branches, steps)
 		sd := snap.NewDBT()
 		res := sd.Run(f, cfg.MaxSteps)
@@ -490,6 +517,7 @@ func runReplaySamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Rep
 		results[i].rec = rec
 		return nil
 	})
+	injSpan.End()
 	rep.Elapsed = time.Since(start)
 	return err
 }

@@ -18,6 +18,38 @@ func seriesName(base, technique string) string {
 	return fmt.Sprintf("%s{technique=%q}", base, technique)
 }
 
+// phaseSpan opens a campaign phase timing on the shared series
+// `campaign_phase{phase="...",technique="T"}`. Durations are wall-clock;
+// they export in the snapshot's spans section, which byte-identity
+// comparisons strip (obs.Snapshot.StripTimings).
+func phaseSpan(reg *obs.Registry, technique, phase string) *obs.Span {
+	return reg.StartSpan("campaign_phase", fmt.Sprintf("technique=%q", technique), phase)
+}
+
+// progressLabels returns the tally slots for a Progress tracker: one per
+// outcome, indexed by the Outcome value, plus a trailing "not-fired".
+func progressLabels() []string {
+	labels := make([]string, NumOutcomes+1)
+	for i := Outcome(0); i < NumOutcomes; i++ {
+		labels[i] = i.String()
+	}
+	labels[NumOutcomes] = "not-fired"
+	return labels
+}
+
+// observeProgress counts one finished sample on worker w's shard, slotted
+// by outcome (or the not-fired slot when the planted fault never fired).
+func observeProgress(p *obs.Progress, w int, s *sampleResult) {
+	if p == nil {
+		return
+	}
+	if s.fired {
+		p.Observe(w, int(s.rec.Outcome))
+	} else {
+		p.Observe(w, int(NumOutcomes))
+	}
+}
+
 // newShards allocates one collector per worker, or nil when metrics are
 // disabled.
 func newShards(reg *obs.Registry, workers int) []*obs.Collector {

@@ -117,10 +117,13 @@ func (cfgn Config) RunStaticWarm(ctx context.Context, p *isa.Program, label stri
 		cleanSteps = log.Final.Steps
 	} else {
 		log = nil // a cached log is meaningless to the replay engine
+		record := phaseSpan(cfgn.Metrics, label, "record")
 		clean := cpu.New()
 		clean.Reset(p)
 		cleanPlan := cpu.NewPlan(p.Code, nil)
-		if stop := clean.RunPlan(&cleanPlan, cfgn.MaxSteps); stop.Reason != cpu.StopHalt {
+		stop := clean.RunPlan(&cleanPlan, cfgn.MaxSteps)
+		record.End()
+		if stop.Reason != cpu.StopHalt {
 			return nil, fmt.Errorf("%s: clean run ended with %v", p.Name, stop)
 		}
 		want = append([]int32(nil), clean.Output...)
@@ -140,6 +143,7 @@ func (cfgn Config) RunStaticWarm(ctx context.Context, p *isa.Program, label stri
 		Workers:   par.Workers(cfgn.Workers, cfgn.Samples),
 	}
 	cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: p.Name + "/" + label})
+	cfgn.Progress.Begin(cfgn.Samples, rep.Workers, progressLabels())
 	shards := newShards(cfgn.Metrics, rep.Workers)
 	results := make([]sampleResult, cfgn.Samples)
 	se := newStaticExec(p, g, cfgn.Backend)
@@ -151,14 +155,19 @@ func (cfgn Config) RunStaticWarm(ctx context.Context, p *isa.Program, label stri
 		if err := runStaticCkptSamples(ctx, p, g, se, &cfgn, rep, label, shards, results, cleanSteps, log); err != nil {
 			return nil, err
 		}
+		mg := phaseSpan(cfgn.Metrics, label, "merge")
 		rep.merge(results, cfgn.KeepRecords)
 		flushShards(shards, cfgn.Metrics)
+		mg.End()
 		rep.Compiled.Publish(cfgn.Metrics, label)
 		cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignEnd, Value: int64(cfgn.Samples), Detail: p.Name + "/" + label})
 		return rep, nil
 	}
 	start := time.Now()
+	injSpan := phaseSpan(cfgn.Metrics, label, "inject")
 	err := par.ForEachShardCtx(ctx, cfgn.Samples, rep.Workers, func(w, i int) error {
+		defer observeProgress(cfgn.Progress, w, &results[i])
+		defer dumpFlightStatic(&cfgn, p, label, i, want, &results[i])
 		rng := newSampleRNG(cfgn.Seed, i)
 		f := deriveBranchFault(&rng, branches)
 		m := cpu.New()
@@ -195,12 +204,15 @@ func (cfgn Config) RunStaticWarm(ctx context.Context, p *isa.Program, label stri
 		results[i].rec = rec
 		return nil
 	})
+	injSpan.End()
 	rep.Elapsed = time.Since(start)
 	if err != nil {
 		return nil, err
 	}
+	mg := phaseSpan(cfgn.Metrics, label, "merge")
 	rep.merge(results, cfgn.KeepRecords)
 	flushShards(shards, cfgn.Metrics)
+	mg.End()
 	rep.Compiled.Publish(cfgn.Metrics, label)
 	cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignEnd, Value: int64(cfgn.Samples), Detail: p.Name + "/" + label})
 	return rep, nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -25,6 +26,17 @@ type Snapshot struct {
 	Counters   map[string]uint64       `json:"counters,omitempty"`
 	Gauges     map[string]int64        `json:"gauges,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	// Spans carries the phase-timing aggregates. Durations are wall-clock
+	// and never deterministic, so byte-identity comparisons strip this
+	// section (StripTimings) while the other three stay bit-identical.
+	Spans map[string]SpanSnapshot `json:"spans,omitempty"`
+}
+
+// StripTimings drops the wall-clock-derived sections, leaving only the
+// deterministic counters, gauges and histograms. Returns s for chaining.
+func (s *Snapshot) StripTimings() *Snapshot {
+	s.Spans = nil
+	return s
 }
 
 // Snapshot copies the registry's current state.
@@ -56,6 +68,12 @@ func (r *Registry) Snapshot() *Snapshot {
 			hs.Count += hs.Counts[i]
 		}
 		s.Histograms[n] = hs
+	}
+	if len(r.spans) > 0 {
+		s.Spans = make(map[string]SpanSnapshot, len(r.spans))
+		for n, a := range r.spans {
+			s.Spans[n] = SpanSnapshot{Count: a.count, Seconds: float64(a.nanos) / 1e9}
+		}
 	}
 	return s
 }
@@ -127,7 +145,8 @@ func joinLabels(labels, extra string) string {
 
 // WritePrometheus writes the snapshot in the Prometheus text exposition
 // format, series sorted by name. Histograms expand into cumulative
-// `_bucket` series with `le` labels plus `_sum` and `_count`.
+// `_bucket` series with `le` labels plus `_sum` and `_count`; spans
+// expand into `_seconds_total` and `_runs_total`.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
 	for _, n := range sortedKeys(s.Counters) {
@@ -155,6 +174,13 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "%s_bucket%s %d\n", base, joinLabels(labels, `le="+Inf"`), cum)
 		fmt.Fprintf(&b, "%s_sum%s %d\n", base, joinLabels(labels, ""), h.Sum)
 		fmt.Fprintf(&b, "%s_count%s %d\n", base, joinLabels(labels, ""), cum)
+	}
+	for _, n := range sortedKeys(s.Spans) {
+		sp := s.Spans[n]
+		base, labels := splitSeries(n)
+		fmt.Fprintf(&b, "%s_seconds_total%s %s\n", base, joinLabels(labels, ""),
+			strconv.FormatFloat(sp.Seconds, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s_runs_total%s %d\n", base, joinLabels(labels, ""), sp.Count)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmptyRegistryExports(t *testing.T) {
+	r := NewRegistry()
+	var js strings.Builder
+	if err := r.Snapshot().WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if js.String() != "{}\n" {
+		t.Fatalf("empty JSON export = %q, want {}\\n", js.String())
+	}
+	var prom strings.Builder
+	if err := r.Snapshot().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if prom.String() != "" {
+		t.Fatalf("empty Prometheus export = %q, want empty", prom.String())
+	}
+}
+
+func TestHistogramSingleBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{5})
+	h.Observe(4) // <= 5: bucket 0
+	h.Observe(5) // inclusive upper bound: bucket 0
+	h.Observe(6) // > 5: +Inf bucket
+	hs := r.Snapshot().Histograms["lat"]
+	if len(hs.Counts) != 2 {
+		t.Fatalf("counts len = %d, want 2", len(hs.Counts))
+	}
+	if hs.Counts[0] != 2 || hs.Counts[1] != 1 {
+		t.Fatalf("counts = %v, want [2 1]", hs.Counts)
+	}
+	if hs.Sum != 15 || hs.Count != 3 {
+		t.Fatalf("sum/count = %d/%d, want 15/3", hs.Sum, hs.Count)
+	}
+
+	var prom strings.Builder
+	if err := r.Snapshot().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`lat_bucket{le="5"} 2`,
+		`lat_bucket{le="+Inf"} 3`,
+		"lat_sum 15",
+		"lat_count 3",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("Prometheus export missing %q:\n%s", want, prom.String())
+		}
+	}
+}

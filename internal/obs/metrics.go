@@ -112,6 +112,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	spans    map[string]*spanAgg
 }
 
 // NewRegistry returns an empty registry.
@@ -120,6 +121,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		spans:    map[string]*spanAgg{},
 	}
 }
 

@@ -58,4 +58,11 @@ const (
 	// (detail=program/technique; end carries value=samples).
 	EvCampaignStart = "campaign-start"
 	EvCampaignEnd   = "campaign-end"
+	// EvBranch: one executed direct branch, captured by the flight
+	// recorder's re-run hook (step, addr=IP, value=resolved target,
+	// detail=taken/fall-through).
+	EvBranch = "branch"
+	// EvStop: the final machine stop of a flight-recorded re-run
+	// (step, addr=stop IP, detail=stop reason).
+	EvStop = "stop"
 )

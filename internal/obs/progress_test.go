@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// drive distributes the same sample outcomes over workers shards and
+// returns the deterministic fold.
+func drive(workers int) ProgressSnapshot {
+	p := NewProgress()
+	labels := []string{"benign", "SDC", "not-fired"}
+	p.Begin(12, workers, labels)
+	slots := []int{0, 0, 1, 2, 0, 1, 2, 0, 0, 0, 1, 2}
+	for i, slot := range slots {
+		p.Observe(i%workers, slot)
+	}
+	return p.Snapshot().Deterministic()
+}
+
+func TestProgressShardInvariance(t *testing.T) {
+	base := drive(1)
+	if base.Done != 12 || base.Total != 12 {
+		t.Fatalf("done/total = %d/%d, want 12/12", base.Done, base.Total)
+	}
+	want := map[string]int64{"benign": 6, "SDC": 3, "not-fired": 3}
+	if !reflect.DeepEqual(base.Tallies, want) {
+		t.Fatalf("tallies = %v, want %v", base.Tallies, want)
+	}
+	for _, w := range []int{2, 4, 7} {
+		if got := drive(w); !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d snapshot %+v != serial %+v", w, got, base)
+		}
+	}
+}
+
+func TestProgressOutOfRange(t *testing.T) {
+	p := NewProgress()
+	p.Begin(4, 2, []string{"a"})
+	p.Observe(0, 99) // bad slot: counts Done only
+	p.Observe(0, -1)
+	p.Observe(-1, 0) // bad worker: ignored entirely
+	p.Observe(5, 0)
+	s := p.Snapshot()
+	if s.Done != 2 {
+		t.Fatalf("done = %d, want 2", s.Done)
+	}
+	if len(s.Tallies) != 0 {
+		t.Fatalf("tallies = %v, want empty", s.Tallies)
+	}
+}
+
+func TestProgressNilAndIdle(t *testing.T) {
+	var p *Progress
+	p.Begin(10, 4, nil)
+	p.Observe(0, 0)
+	if s := p.Snapshot(); !reflect.DeepEqual(s, ProgressSnapshot{}) {
+		t.Fatalf("nil tracker snapshot = %+v", s)
+	}
+	idle := NewProgress() // armed only by Begin
+	idle.Observe(0, 0)
+	if s := idle.Snapshot(); !reflect.DeepEqual(s, ProgressSnapshot{}) {
+		t.Fatalf("idle tracker snapshot = %+v", s)
+	}
+}
+
+func TestProgressBeginResets(t *testing.T) {
+	p := NewProgress()
+	p.Begin(5, 1, []string{"a"})
+	p.Observe(0, 0)
+	p.Begin(7, 2, []string{"b"})
+	s := p.Snapshot()
+	if s.Done != 0 || s.Total != 7 || len(s.Tallies) != 0 {
+		t.Fatalf("after re-Begin: %+v", s)
+	}
+}
+
+func TestProgressString(t *testing.T) {
+	s := ProgressSnapshot{
+		Done: 3, Total: 12,
+		Tallies: map[string]int64{"SDC": 1, "benign": 2},
+		PerSec:  6, ETASec: 1.5,
+	}
+	got := s.String()
+	for _, want := range []string{"3/12", "(25.0%)", "6/s", "eta 1.5s", "[SDC:1 benign:2]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+	// Zero totals must not divide by zero.
+	if z := (ProgressSnapshot{}).String(); !strings.Contains(z, "0/0 (0.0%)") {
+		t.Errorf("zero String() = %q", z)
+	}
+}

@@ -1,0 +1,20 @@
+package obs
+
+import "runtime"
+
+// PublishRuntime refreshes the Go runtime gauges (goroutines, heap, GC)
+// in r. Call it at scrape time — from a /metrics handler, not from
+// campaign paths — so the process-health series never perturb the
+// deterministic campaign snapshots.
+func PublishRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go_goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("go_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("go_heap_objects").Set(int64(ms.HeapObjects))
+	r.Gauge("go_gc_cycles_total").Set(int64(ms.NumGC))
+	r.Gauge("go_gc_pause_nanoseconds_total").Set(int64(ms.PauseTotalNs))
+}

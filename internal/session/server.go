@@ -10,7 +10,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/comp"
 	"repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/obs"
@@ -25,6 +31,50 @@ type Server struct {
 	// MaxSamples rejects requests asking for absurd campaign sizes
 	// (0 = DefaultMaxSamples).
 	MaxSamples int
+
+	// Batch progress tracking: every POST /v1/campaigns registers a
+	// batchProgress under a server-assigned id (echoed in the Campaign-Id
+	// response header) so GET /v1/campaigns/{id}/progress can poll a
+	// running batch from a second connection.
+	mu       sync.Mutex
+	seq      int
+	batches  map[string]*batchProgress
+	batchIDs []string // registration order, oldest first
+}
+
+// maxTrackedBatches bounds the progress map: finished batches stay
+// pollable until evicted by newer registrations.
+const maxTrackedBatches = 128
+
+// batchProgress is one batch's live progress state.
+type batchProgress struct {
+	id        string
+	campaigns int
+	tracker   *obs.Progress
+	campaign  atomic.Int64 // index of the campaign currently running
+	done      atomic.Bool
+}
+
+// registerBatch assigns the next batch id and its tracker.
+func (s *Server) registerBatch(campaigns int) *batchProgress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.batches == nil {
+		s.batches = map[string]*batchProgress{}
+	}
+	s.seq++
+	bp := &batchProgress{
+		id:        fmt.Sprintf("c%08d", s.seq),
+		campaigns: campaigns,
+		tracker:   obs.NewProgress(),
+	}
+	s.batches[bp.id] = bp
+	s.batchIDs = append(s.batchIDs, bp.id)
+	for len(s.batchIDs) > maxTrackedBatches {
+		delete(s.batches, s.batchIDs[0])
+		s.batchIDs = s.batchIDs[1:]
+	}
+	return bp
 }
 
 // DefaultMaxSamples bounds per-campaign sample counts accepted over HTTP.
@@ -43,6 +93,10 @@ type Request struct {
 	// are byte-identical for every value.
 	Workers   int        `json:"workers"`
 	Campaigns []SpecJSON `json:"campaigns"`
+	// ProgressMs, when positive, interleaves progress frames (lines with a
+	// single "progress" key) into the NDJSON stream at the given interval.
+	// Opt-in, so default streams stay records-only and byte-comparable.
+	ProgressMs int `json:"progress_ms"`
 }
 
 // SpecJSON is one campaign of a batch.
@@ -80,20 +134,97 @@ type RecordJSON struct {
 
 // Handler returns the API mux:
 //
-//	POST /v1/campaigns   run a batch, streaming NDJSON records
-//	GET  /v1/sessions    list the warm sessions
-//	GET  /metrics        Prometheus text exposition
-//	GET  /healthz        liveness probe
+//	POST /v1/campaigns                running batch, streaming NDJSON records
+//	GET  /v1/campaigns/{id}/progress  poll a running batch's progress
+//	GET  /v1/sessions                 list the warm sessions
+//	GET  /v1/version                  build and environment info
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /healthz                     liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
+	mux.HandleFunc("GET /v1/campaigns/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /v1/sessions", s.handleSessions)
+	mux.HandleFunc("GET /v1/version", handleVersion)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// ProgressFrame is one interleaved progress line of the NDJSON stream.
+// Record lines never carry a "progress" key, so consumers split on it.
+type ProgressFrame struct {
+	Progress *ProgressJSON `json:"progress"`
+}
+
+// ProgressJSON is a batch progress poll result: which campaign of the
+// batch is running and the live fold of its tracker.
+type ProgressJSON struct {
+	ID        string `json:"id"`
+	Campaign  int    `json:"campaign"`
+	Campaigns int    `json:"campaigns"`
+	Completed bool   `json:"completed"`
+	obs.ProgressSnapshot
+}
+
+func progressJSON(bp *batchProgress) *ProgressJSON {
+	return &ProgressJSON{
+		ID:               bp.id,
+		Campaign:         int(bp.campaign.Load()),
+		Campaigns:        bp.campaigns,
+		Completed:        bp.done.Load(),
+		ProgressSnapshot: bp.tracker.Snapshot(),
+	}
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	bp := s.batches[id]
+	s.mu.Unlock()
+	if bp == nil {
+		http.Error(w, "unknown campaign id "+id, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(progressJSON(bp))
+}
+
+// VersionInfo is the GET /v1/version response.
+type VersionInfo struct {
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+	GoVersion string `json:"go_version"`
+	// Backend is the execution backend campaigns resolve to by default.
+	Backend string `json:"default_backend"`
+}
+
+func handleVersion(w http.ResponseWriter, _ *http.Request) {
+	v := VersionInfo{
+		GoVersion: runtime.Version(),
+		Backend:   comp.BackendCompile.String(), // BackendAuto resolves to it
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v.Module = bi.Main.Path
+		v.Version = bi.Main.Version
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				v.Revision = kv.Value
+			case "vcs.modified":
+				v.Modified = kv.Value == "true"
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
@@ -145,12 +276,47 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	bp := s.registerBatch(len(body.Campaigns))
+	defer bp.done.Store(true)
+
+	w.Header().Set("Campaign-Id", bp.id)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	opts := core.Options{Metrics: s.Metrics, Workers: body.Workers}
+	// The progress ticker and the record loop share the connection, so
+	// every NDJSON line goes through one mutex-held emit.
+	var wmu sync.Mutex
+	emit := func(v any) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	if body.ProgressMs > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(time.Duration(body.ProgressMs) * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					emit(ProgressFrame{Progress: progressJSON(bp)})
+				}
+			}
+		}()
+	}
+	opts := core.Options{Metrics: s.Metrics, Workers: body.Workers, Progress: bp.tracker}
 	for i, c := range body.Campaigns {
+		bp.campaign.Store(int64(i))
 		rec := RecordJSON{Index: i, Seed: c.Seed, Samples: c.Samples}
 		rep, err := sess.Run(ctx, Spec{Samples: c.Samples, Seed: c.Seed}, opts)
 		if err != nil {
@@ -158,11 +324,8 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 		} else {
 			fillRecord(&rec, rep)
 		}
-		if encErr := enc.Encode(rec); encErr != nil {
+		if encErr := emit(rec); encErr != nil {
 			return // client went away
-		}
-		if flusher != nil {
-			flusher.Flush()
 		}
 		if err != nil {
 			return
@@ -209,6 +372,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "metrics disabled", http.StatusNotFound)
 		return
 	}
+	// Process-health gauges refresh at scrape time only, so they never
+	// perturb the deterministic campaign series.
+	obs.PublishRuntime(s.Metrics)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.Metrics.Snapshot().WritePrometheus(w)
 }

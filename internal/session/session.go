@@ -284,6 +284,14 @@ func (r *Registry) evictLocked() {
 	}
 }
 
+// Program returns the built workload for (workload, scale), deduplicated
+// with the sessions that use it. The bench suite builds its workloads
+// through the registry so HTTP-driven benchmarks and campaigns share one
+// program build per configuration.
+func (r *Registry) Program(workload string, scale float64) (*isa.Program, error) {
+	return r.program(workload, scale)
+}
+
 // program returns the built workload, shared across every session (and
 // technique) using the same (workload, scale).
 func (r *Registry) program(workload string, scale float64) (*isa.Program, error) {
