@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 
@@ -22,6 +23,29 @@ type BenchRequest struct {
 	Figures []string `json:"figures"`
 }
 
+// Served-suite bounds, mirroring the campaign endpoint's MaxSamples gate:
+// one unauthenticated POST must not be able to pin the server on an
+// arbitrarily large run. Full-scale (1.0) figures belong to cfc-bench
+// batch runs on the machine's own terms.
+const (
+	maxServeScale   = 1.0
+	maxServeWorkers = 256
+)
+
+// validate rejects out-of-range suite parameters before any work starts.
+func (r BenchRequest) validate(maxSamples int) error {
+	if r.Samples < 0 || r.Samples > maxSamples {
+		return fmt.Errorf("samples %d out of range [0, %d]", r.Samples, maxSamples)
+	}
+	if r.Scale < 0 || r.Scale > maxServeScale {
+		return fmt.Errorf("scale %g out of range [0, %g]", r.Scale, maxServeScale)
+	}
+	if r.Workers < 0 || r.Workers > maxServeWorkers {
+		return fmt.Errorf("workers %d out of range [0, %d]", r.Workers, maxServeWorkers)
+	}
+	return nil
+}
+
 // Handler serves the bench suite over the given warm-session registry as
 // an NDJSON stream of SuiteFrames, one per line, flushed as produced.
 // The handler lives here rather than in package session because bench
@@ -33,6 +57,10 @@ func Handler(reg *session.Registry, metrics *obs.Registry) http.Handler {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := req.validate(session.DefaultMaxSamples); err != nil {
 			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 			return
 		}

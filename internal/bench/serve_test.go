@@ -109,6 +109,39 @@ func TestBenchHandlerRejectsBadBody(t *testing.T) {
 	}
 }
 
+// TestBenchHandlerRejectsOutOfRange: suite parameters are bounded like
+// the campaign endpoint's MaxSamples gate — one request cannot pin the
+// server on an arbitrarily large run.
+func TestBenchHandlerRejectsOutOfRange(t *testing.T) {
+	metrics := obs.NewRegistry()
+	reg := session.NewRegistry(session.Config{Metrics: metrics})
+	ts := httptest.NewServer(Handler(reg, metrics))
+	defer ts.Close()
+
+	cases := []struct {
+		name, body string
+	}{
+		{"samples over max", `{"samples":1000001}`},
+		{"negative samples", `{"samples":-1}`},
+		{"scale over full", `{"scale":1.5}`},
+		{"negative scale", `{"scale":-0.1}`},
+		{"workers over max", `{"workers":100000}`},
+		{"negative workers", `{"workers":-1}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %s, want 400", resp.Status)
+			}
+		})
+	}
+}
+
 // TestBenchHandlerUnknownFigure: a bad figure name aborts with an error
 // frame on the stream (headers are already committed).
 func TestBenchHandlerUnknownFigure(t *testing.T) {

@@ -100,29 +100,46 @@ func (a *App) Open() error {
 	if err := a.CLI.Open(); err != nil {
 		return err
 	}
+	// Callers that fatal on an Open error never reach Close, so every
+	// error path below tears down whatever already opened.
+	fail := func(err error) error {
+		if a.cpuFile != nil {
+			pprof.StopCPUProfile()
+			a.cpuFile.Close()
+			a.cpuFile = nil
+		}
+		if a.flight != nil {
+			a.flight.Close()
+			a.flight = nil
+		}
+		a.CLI.Close()
+		return err
+	}
+	if a.CPUProfile != "" {
+		f, err := os.Create(a.CPUProfile)
+		if err != nil {
+			return fail(fmt.Errorf("open cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("start cpuprofile: %w", err))
+		}
+		a.cpuFile = f
+	}
 	if a.Flight != "" {
 		f, err := os.Create(a.Flight)
 		if err != nil {
-			return fmt.Errorf("open flight: %w", err)
+			return fail(fmt.Errorf("open flight: %w", err))
 		}
 		a.flight = obs.NewFlightRecorder(f, a.FlightDepth)
 	}
+	// The ticker starts after the last fallible step, so Open never
+	// returns an error with the goroutine still running.
 	if a.Progress > 0 {
 		a.progress = obs.NewProgress()
 		a.tickStop = make(chan struct{})
 		a.tickDone = make(chan struct{})
 		go a.tick()
-	}
-	if a.CPUProfile != "" {
-		f, err := os.Create(a.CPUProfile)
-		if err != nil {
-			return fmt.Errorf("open cpuprofile: %w", err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return fmt.Errorf("start cpuprofile: %w", err)
-		}
-		a.cpuFile = f
 	}
 	return nil
 }

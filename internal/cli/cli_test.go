@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// A failed Open must not leave sinks armed: callers fatal on the error
+// and never reach Close, so the flight recorder, CPU profile and the
+// progress ticker all have to be torn down on the error path.
+func TestOpenFailureTearsDownSinks(t *testing.T) {
+	dir := t.TempDir()
+	a := &App{Backend: "auto"}
+	a.CPUProfile = filepath.Join(dir, "missing", "cpu.prof") // create fails
+	a.Flight = filepath.Join(dir, "flight.jsonl")
+	a.Progress = time.Millisecond
+
+	if err := a.Open(); err == nil {
+		t.Fatal("Open succeeded with an uncreatable -cpuprofile path")
+	}
+	if a.cpuFile != nil || a.flight != nil || a.tickStop != nil {
+		t.Errorf("sinks survived the failed Open: cpuFile=%v flight=%v tickStop=%v",
+			a.cpuFile, a.flight, a.tickStop)
+	}
+
+	// The flight path is created before the cpuprofile failure only when
+	// flight setup runs first; with the fallible steps ordered, a failed
+	// cpuprofile leaves no armed recorder either way.
+	b := &App{Backend: "auto"}
+	b.Flight = filepath.Join(dir, "missing", "flight.jsonl") // create fails
+	b.CPUProfile = filepath.Join(dir, "cpu.prof")
+	b.Progress = time.Millisecond
+	if err := b.Open(); err == nil {
+		t.Fatal("Open succeeded with an uncreatable -flight path")
+	}
+	if b.cpuFile != nil || b.flight != nil || b.tickStop != nil {
+		t.Errorf("sinks survived the failed Open: cpuFile=%v flight=%v tickStop=%v",
+			b.cpuFile, b.flight, b.tickStop)
+	}
+	// The successfully created cpu profile file was closed by the
+	// teardown; profiling is no longer running, so a fresh profile can
+	// start (pprof allows one at a time).
+	if _, err := os.Stat(b.CPUProfile); err != nil {
+		t.Errorf("cpu profile file: %v", err)
+	}
+	c := &App{Backend: "auto"}
+	c.CPUProfile = filepath.Join(dir, "cpu2.prof")
+	if err := c.Open(); err != nil {
+		t.Fatalf("profiling still active after failed Open: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

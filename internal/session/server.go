@@ -285,12 +285,21 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	// The progress ticker and the record loop share the connection, so
-	// every NDJSON line goes through one mutex-held emit.
-	var wmu sync.Mutex
+	// every NDJSON line goes through one mutex-held emit. The first encode
+	// failure (client gone) is sticky: it stops the ticker too, instead of
+	// only the record loop noticing between campaigns.
+	var (
+		wmu     sync.Mutex
+		emitErr error
+	)
 	emit := func(v any) error {
 		wmu.Lock()
 		defer wmu.Unlock()
+		if emitErr != nil {
+			return emitErr
+		}
 		if err := enc.Encode(v); err != nil {
+			emitErr = err
 			return err
 		}
 		if flusher != nil {
@@ -300,8 +309,16 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 	}
 	if body.ProgressMs > 0 {
 		stop := make(chan struct{})
-		defer close(stop)
+		done := make(chan struct{})
+		// net/http forbids touching the ResponseWriter after the handler
+		// returns, so the cleanup must join the goroutine, not just signal
+		// it: close stop, then wait for done.
+		defer func() {
+			close(stop)
+			<-done
+		}()
 		go func() {
+			defer close(done)
 			t := time.NewTicker(time.Duration(body.ProgressMs) * time.Millisecond)
 			defer t.Stop()
 			for {
@@ -309,7 +326,16 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 				case <-stop:
 					return
 				case <-t.C:
-					emit(ProgressFrame{Progress: progressJSON(bp)})
+					// A tick that raced the close must not emit a frame
+					// after the record loop wrote its final record.
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if emit(ProgressFrame{Progress: progressJSON(bp)}) != nil {
+						return
+					}
 				}
 			}
 		}()

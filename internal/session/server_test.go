@@ -283,6 +283,77 @@ func TestSessionsAndMetricsEndpoints(t *testing.T) {
 	}
 }
 
+// A batch with progress_ms set interleaves progress frames with the
+// records without corrupting the stream, and the ticker goroutine is
+// joined before the handler returns — under -race this catches any
+// write to the ResponseWriter after ServeHTTP. The 1ms interval makes a
+// tick racing the final record (and the handler's return) likely.
+func TestProgressStreamInterleavesCleanly(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	req := Request{
+		Workload: testWorkload, Scale: testScale,
+		Technique: "RCF", Style: "CMOVcc", Policy: "ALLBB",
+		CkptInterval: -1,
+		Workers:      2,
+		ProgressMs:   1,
+		Campaigns:    []SpecJSON{{Seed: 1, Samples: testSamples}, {Seed: 2, Samples: testSamples}},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames int
+	for run := 0; run < 8; run++ {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d: %s", run, resp.StatusCode, raw)
+		}
+		// Every line is either a progress frame (single "progress" key) or
+		// a record; any torn/interleaved write shows up as a decode error.
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		var recs []RecordJSON
+		for {
+			var line map[string]json.RawMessage
+			if err := dec.Decode(&line); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("run %d: stream is not clean NDJSON: %v\n%s", run, err, raw)
+			}
+			if p, ok := line["progress"]; ok {
+				frames++
+				var pj ProgressJSON
+				if err := json.Unmarshal(p, &pj); err != nil {
+					t.Fatalf("run %d: bad progress frame: %v\n%s", run, err, p)
+				}
+				if pj.Campaigns != 2 {
+					t.Errorf("run %d: progress frame for %d campaigns, want 2", run, pj.Campaigns)
+				}
+				continue
+			}
+			var rec RecordJSON
+			full, _ := json.Marshal(line)
+			if err := json.Unmarshal(full, &rec); err != nil {
+				t.Fatalf("run %d: bad record: %v\n%s", run, err, full)
+			}
+			recs = append(recs, rec)
+		}
+		if len(recs) != 2 || recs[0].Error != "" || recs[1].Error != "" {
+			t.Fatalf("run %d: records %+v, want 2 clean records", run, recs)
+		}
+	}
+	if frames == 0 {
+		t.Errorf("no progress frames across any run; the ticker path never executed")
+	}
+}
+
 // A failing campaign mid-batch ends the stream with an error record; the
 // earlier records still arrive.
 func TestBatchStopsAtFirstError(t *testing.T) {
