@@ -33,8 +33,10 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/inject"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -68,9 +70,13 @@ func main() {
 			Scale:   *scale,
 			Samples: *samples,
 			Seed:    *seed,
+			Graph:   app.Graph(),
 			Options: app.Options(),
 		})
 		fatalIf(err)
+		// The matrix goes to stdout untouched: with -graph-cache the CI
+		// gate byte-diffs a cold run against a hot one, so cache status
+		// belongs on stderr.
 		fmt.Print(bench.FormatCoverageMatrix(reports))
 		fatalIf(app.Close())
 		return
@@ -94,8 +100,26 @@ func main() {
 	}
 
 	cfg.Options = app.Options()
-	rep, err := core.InjectCtx(ctx, p, cfg, *samples, *seed)
-	fatalIf(err)
+	var rep *inject.Report
+	if g := app.Graph(); g != nil {
+		// The benchmark modes above re-run for wall-clock and bypass the
+		// cache by design; the report itself is a cell.
+		key := graph.KeyFor(p, *tech, *style, *policy, *samples, *seed,
+			cfg.CkptInterval, cfg.Backend, 0)
+		var cached bool
+		rep, cached, err = g.Run(key, app.Registry(), func(m *obs.Registry) (*inject.Report, error) {
+			c := cfg
+			c.Metrics = m
+			return core.InjectCtx(ctx, p, c, *samples, *seed)
+		})
+		fatalIf(err)
+		if cached {
+			fmt.Fprintln(os.Stderr, "cfc-inject: graph cache hit — campaign loaded, not executed")
+		}
+	} else {
+		rep, err = core.InjectCtx(ctx, p, cfg, *samples, *seed)
+		fatalIf(err)
+	}
 	fmt.Print(inject.FormatReport(rep))
 	if *reportOut != "" {
 		fatalIf(writeReportJSON(*reportOut, rep))

@@ -59,9 +59,19 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 64, "warm sessions kept before LRU eviction (<=0 unbounded)")
 		benchOut    = flag.String("bench-json", "", "run the cold-vs-warm serving benchmark, write the record here, and exit")
 	)
-	var app cli.App
+	// The server defaults the campaign cell cache on, sharing -cache-dir
+	// with the checkpoint logs (memory-only without one); -graph-cache
+	// off/on/dir overrides.
+	app := cli.App{GraphCache: "auto"}
 	app.BindFlags(flag.CommandLine)
 	flag.Parse()
+	if app.GraphCache == "auto" {
+		if *cacheDir != "" {
+			app.GraphCache = *cacheDir
+		} else {
+			app.GraphCache = "on"
+		}
+	}
 	fatalIf(app.Open())
 
 	// The server always carries a live registry for /metrics; -metrics
@@ -74,6 +84,7 @@ func main() {
 		CacheDir:    *cacheDir,
 		MaxSessions: *maxSessions,
 		Metrics:     reg,
+		Graph:       app.Graph(),
 	})
 	srv := &session.Server{Registry: registry, Metrics: reg}
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dbt"
 	"repro/internal/errmodel"
+	"repro/internal/graph"
 	"repro/internal/inject"
 	"repro/internal/isa"
 	"repro/internal/par"
@@ -380,15 +381,21 @@ type CoverageConfig struct {
 	// (and, when the registry persists checkpoint logs, across processes).
 	// nil uses a private in-memory registry.
 	Sessions *session.Registry
+	// Graph caches whole cells by content key when Sessions is nil (a
+	// provided registry carries its own). A cached cell skips its
+	// campaign entirely; the matrix text is byte-identical either way.
+	Graph *graph.Cache
 	// Options is the shared execution surface (Trace, Metrics, Workers,
 	// CkptInterval), forwarded to every campaign. The classified matrix is
 	// byte-identical for every Workers and CkptInterval value; only the
 	// engine-telemetry footer (executed vs short-circuited samples) reflects
 	// which engine ran.
 	core.Options
-	// OnReport, when non-nil, receives each technique's merged report as it
-	// completes — the bench suite streams the matrix row by row.
-	OnReport func(*inject.Report)
+	// OnReport, when non-nil, receives each technique's merged report as
+	// it completes — the bench suite streams the matrix row by row.
+	// cached reports that every one of the technique's cells came out of
+	// the graph cache.
+	OnReport func(r *inject.Report, cached bool)
 }
 
 // CoverageMatrix runs fault-injection campaigns for every technique
@@ -404,29 +411,28 @@ func CoverageMatrix(ctx context.Context, cfg CoverageConfig) ([]*inject.Report, 
 	}
 	reg := cfg.Sessions
 	if reg == nil {
-		reg = session.NewRegistry(session.Config{Metrics: cfg.Metrics})
+		reg = session.NewRegistry(session.Config{Metrics: cfg.Metrics, Graph: cfg.Graph})
 	}
 	opts := cfg.Options
 	var reports []*inject.Report
 	for _, tech := range CoverageTechniques {
 		merged := &inject.Report{Technique: tech, Program: "suite", ByCat: map[errmodel.Category]*inject.Agg{}}
+		rowCached := true
 		for _, n := range names {
-			sess, err := reg.Session(ctx, session.Key{
+			k := session.Key{
 				Workload: n, Scale: cfg.Scale, Technique: tech,
 				Style: "CMOVcc", CkptInterval: cfg.CkptInterval,
-			})
+			}
+			r, cached, err := reg.RunCell(ctx, k, session.Spec{Samples: cfg.Samples, Seed: cfg.Seed}, opts)
 			if err != nil {
 				return nil, err
 			}
-			r, err := sess.Run(ctx, session.Spec{Samples: cfg.Samples, Seed: cfg.Seed}, opts)
-			if err != nil {
-				return nil, err
-			}
+			rowCached = rowCached && cached
 			mergeReports(merged, r)
 		}
 		reports = append(reports, merged)
 		if cfg.OnReport != nil {
-			cfg.OnReport(merged)
+			cfg.OnReport(merged, rowCached)
 		}
 	}
 	return reports, nil

@@ -60,10 +60,13 @@ type SuiteFrame struct {
 	// detected fraction of effective errors, 0..1).
 	Technique string  `json:"technique,omitempty"`
 	Coverage  float64 `json:"coverage,omitempty"`
-	Note      string  `json:"note,omitempty"`
-	Text      string  `json:"text,omitempty"`
-	Seconds   float64 `json:"seconds,omitempty"`
-	Error     string  `json:"error,omitempty"`
+	// Cached marks a coverage row whose cells all came out of the graph
+	// cell cache — byte-identical results, no campaign executed.
+	Cached  bool    `json:"cached,omitempty"`
+	Note    string  `json:"note,omitempty"`
+	Text    string  `json:"text,omitempty"`
+	Seconds float64 `json:"seconds,omitempty"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // RunSuite runs the selected figures in order, streaming frames through
@@ -192,9 +195,9 @@ func runFigure(ctx context.Context, cfg SuiteConfig, fig string, build buildFn, 
 		reports, err := CoverageMatrix(ctx, CoverageConfig{
 			Scale: cfg.Scale, Samples: cfg.Samples, Seed: cfg.Seed,
 			Sessions: cfg.Sessions, Options: cfg.Options,
-			OnReport: func(r *inject.Report) {
+			OnReport: func(r *inject.Report, cached bool) {
 				send(SuiteFrame{Kind: "row", Figure: fig, Technique: r.Technique,
-					Coverage: r.Totals.Coverage()})
+					Coverage: r.Totals.Coverage(), Cached: cached})
 			},
 		})
 		if err != nil {

@@ -4,11 +4,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 
 	"repro/internal/cpu"
 	"repro/internal/dbt"
+	"repro/internal/fp"
 	"repro/internal/isa"
 )
 
@@ -119,7 +119,7 @@ func (l *Log) EncodeTo(w io.Writer, fingerprint string) error {
 			e.words(pg.Words)
 		}
 	}
-	e.u32(crc32.ChecksumIEEE(e.buf))
+	e.u32(fp.Checksum(e.buf))
 	_, err := w.Write(e.buf)
 	return err
 }
@@ -236,7 +236,7 @@ func DecodeLog(r io.Reader, fingerprint string) (*Log, error) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, buf[:len(logMagic)])
 	}
 	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
-	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+	if got, want := fp.Checksum(body), binary.LittleEndian.Uint32(tail); got != want {
 		return nil, fmt.Errorf("%w: checksum %08x, file says %08x", ErrCorrupt, got, want)
 	}
 

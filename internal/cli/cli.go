@@ -1,8 +1,8 @@
 // Package cli binds the execution-surface flags shared by every cmd/
 // tool: the observability set (-trace, -metrics, -progress, -flight,
-// -flight-depth), the profiling pair (-cpuprofile, -memprofile) and the
+// -flight-depth), the profiling pair (-cpuprofile, -memprofile), the
 // campaign knobs (-workers, -ckpt-interval, -backend) that core.Options
-// carries. Binding them in one place keeps the six CLIs and cfc-serve
+// carries, and the -graph-cache cell cache selector. Binding them in one place keeps the six CLIs and cfc-serve
 // presenting an identical surface, and Options() hands the parsed result
 // straight to any campaign entry point that embeds core.Options.
 package cli
@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/comp"
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/obs"
 )
 
@@ -53,8 +54,15 @@ type App struct {
 	// one JSONL line.
 	Flight      string
 	FlightDepth int
+	// GraphCache is the parsed -graph-cache value: "off" (or empty)
+	// disables the campaign cell cache, "on" keeps it in memory only,
+	// anything else is a directory entries persist under. Tools that want
+	// a different default (cfc-serve follows -cache-dir) rewrite the
+	// field between flag.Parse and Open.
+	GraphCache string
 
 	backend  comp.Backend
+	graph    *graph.Cache
 	cpuFile  *os.File
 	progress *obs.Progress
 	flight   *obs.FlightRecorder
@@ -85,6 +93,11 @@ func (a *App) BindFlags(fs *flag.FlagSet) {
 	}
 	fs.IntVar(&a.FlightDepth, "flight-depth", a.FlightDepth,
 		"flight-recorder ring depth: last `n` events kept per dumped sample")
+	if a.GraphCache == "" {
+		a.GraphCache = "off"
+	}
+	fs.StringVar(&a.GraphCache, "graph-cache", a.GraphCache,
+		"campaign cell cache: off, on (memory only) or a `directory` to persist under")
 }
 
 // Open materializes the observability sinks, starts the progress ticker
@@ -97,6 +110,14 @@ func (a *App) Open() error {
 		return err
 	}
 	a.backend = b
+	switch a.GraphCache {
+	case "", "off":
+		a.graph = nil
+	case "on":
+		a.graph = graph.New("")
+	default:
+		a.graph = graph.New(a.GraphCache)
+	}
 	if err := a.CLI.Open(); err != nil {
 		return err
 	}
@@ -212,6 +233,10 @@ func (a *App) Close() error {
 	}
 	return first
 }
+
+// Graph returns the campaign cell cache -graph-cache selected, nil when
+// disabled. Call after Open.
+func (a *App) Graph() *graph.Cache { return a.graph }
 
 // Options returns the parsed execution surface. Call after Open: the
 // tracer, registry, progress tracker and flight recorder are nil until

@@ -1,0 +1,77 @@
+package fp
+
+import (
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestFileNameMatchesLegacySessionNames(t *testing.T) {
+	// The session registry's checkpoint-log file names predate this
+	// package; FileName must reproduce them byte for byte so existing
+	// cache directories stay valid across the refactor.
+	fp := "164.gzip|0.05|RCF|CMOVcc|ALLBB|-1"
+	legacy := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-':
+			return r
+		}
+		return '_'
+	}, fp)
+	want := legacy + "_" + hexChecksum(fp) + ".ckpt"
+	if got := FileName(fp, ".ckpt"); got != want {
+		t.Fatalf("FileName = %q, want %q", got, want)
+	}
+	if Checksum([]byte(fp)) != crc32.ChecksumIEEE([]byte(fp)) {
+		t.Fatal("Checksum is not CRC-32 IEEE")
+	}
+}
+
+func TestFileNameDisambiguatesSanitizeCollisions(t *testing.T) {
+	a, b := FileName("a|b", ".x"), FileName("a_b", ".x")
+	if a == b {
+		t.Fatalf("colliding sanitized names share a file: %q", a)
+	}
+}
+
+func TestHashFraming(t *testing.T) {
+	// Length framing: the same concatenated bytes split differently must
+	// hash differently.
+	h1 := NewHash()
+	h1.String("ab")
+	h1.String("c")
+	h2 := NewHash()
+	h2.String("a")
+	h2.String("bc")
+	if h1.Sum() == h2.Sum() {
+		t.Fatal("field framing collision")
+	}
+}
+
+func TestProgramHashSensitivity(t *testing.T) {
+	base := &isa.Program{
+		Name:  "p",
+		Code:  []isa.Instr{{Op: isa.OpHalt}},
+		Entry: 0,
+	}
+	h := Program(base)
+	for name, mut := range map[string]func(*isa.Program){
+		"name":  func(p *isa.Program) { p.Name = "q" },
+		"entry": func(p *isa.Program) { p.Entry = 1 },
+		"data":  func(p *isa.Program) { p.DataWords = 8 },
+		"code":  func(p *isa.Program) { p.Code = append(p.Code, isa.Instr{Op: isa.OpHalt}) },
+	} {
+		m := *base
+		m.Code = append([]isa.Instr(nil), base.Code...)
+		mut(&m)
+		if Program(&m) == h {
+			t.Errorf("%s change did not change the program hash", name)
+		}
+	}
+	if Program(base) != h {
+		t.Fatal("program hash is not stable")
+	}
+}

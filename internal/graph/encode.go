@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/fp"
+)
+
+// cellMagic identifies the on-disk cell-entry format; the trailing digit
+// is the envelope version (see the package documentation for the layout).
+const cellMagic = "CFCGRPH1"
+
+// errCorruptEntry marks an entry whose bytes cannot be decoded: bad
+// magic, checksum mismatch, bad framing or unparseable JSON.
+var errCorruptEntry = errors.New("graph: corrupt cell entry")
+
+// errStaleEntry marks an entry that decodes cleanly but was written under
+// a different fingerprint (program bytes, configuration or version).
+var errStaleEntry = errors.New("graph: stale cell entry")
+
+// encodeEntry serializes an entry under the given fingerprint:
+// magic, length-framed fingerprint, length-framed JSON payload, CRC-32
+// trailer over everything before it.
+func encodeEntry(e *Entry, fingerprint string) []byte {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		// Entry is plain exported data; Marshal cannot fail on it. Keep
+		// the signature infallible and make any future regression loud.
+		panic(fmt.Sprintf("graph: encode entry: %v", err))
+	}
+	buf := make([]byte, 0, len(cellMagic)+8+len(fingerprint)+len(payload)+4)
+	buf = append(buf, cellMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fingerprint)))
+	buf = append(buf, fingerprint...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, fp.Checksum(buf))
+}
+
+// decodeEntry reads an entry written by encodeEntry, verifying the magic,
+// the checksum and the fingerprint before trusting the payload. It
+// returns errCorruptEntry for unreadable bytes and errStaleEntry when the
+// bytes decode but carry a different fingerprint; callers recompute and
+// rewrite on either.
+func decodeEntry(buf []byte, fingerprint string) (*Entry, error) {
+	if len(buf) < len(cellMagic)+12 {
+		return nil, fmt.Errorf("%w: %d bytes", errCorruptEntry, len(buf))
+	}
+	if string(buf[:len(cellMagic)]) != cellMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", errCorruptEntry, buf[:len(cellMagic)])
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if got, want := fp.Checksum(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, file says %08x", errCorruptEntry, got, want)
+	}
+	pos := len(cellMagic)
+	frame := func() ([]byte, error) {
+		if pos+4 > len(body) {
+			return nil, fmt.Errorf("%w: truncated at byte %d", errCorruptEntry, pos)
+		}
+		n := int(binary.LittleEndian.Uint32(body[pos:]))
+		pos += 4
+		if n < 0 || pos+n > len(body) {
+			return nil, fmt.Errorf("%w: frame of %d bytes at byte %d", errCorruptEntry, n, pos)
+		}
+		b := body[pos : pos+n]
+		pos += n
+		return b, nil
+	}
+	fpBytes, err := frame()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := frame()
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errCorruptEntry, len(body)-pos)
+	}
+	if string(fpBytes) != fingerprint {
+		return nil, fmt.Errorf("%w: fingerprint %q, want %q", errStaleEntry, fpBytes, fingerprint)
+	}
+	e := &Entry{}
+	if err := json.Unmarshal(payload, e); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", errCorruptEntry, err)
+	}
+	if e.Report == nil {
+		return nil, fmt.Errorf("%w: entry without a report", errCorruptEntry)
+	}
+	return e, nil
+}

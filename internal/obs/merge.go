@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Merge folds a snapshot into the registry with the same commutative
+// operations the collector shards use: counters add, gauges keep the
+// maximum, histograms add bucket by bucket, and span series add both
+// their run counts and their accumulated wall-clock. It is how a cached
+// campaign's deterministic metrics (see internal/graph) re-enter a live
+// registry on a cache hit, and how a miss's privately collected metrics
+// publish once the result is stored.
+//
+// A nil registry or snapshot is a no-op. A histogram whose bucket count
+// disagrees with an already registered series of the same name is skipped
+// rather than corrupting it (snapshots from a different build could carry
+// different bounds).
+func (r *Registry) Merge(s *Snapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	for n, v := range s.Counters {
+		r.Counter(n).Add(v)
+	}
+	for n, v := range s.Gauges {
+		r.Gauge(n).Max(v)
+	}
+	for n, hs := range s.Histograms {
+		r.mu.Lock()
+		h := r.hists[n]
+		if h == nil {
+			h = &Histogram{bounds: append([]uint64(nil), hs.Bounds...), counts: make([]atomic.Uint64, len(hs.Bounds)+1)}
+			r.hists[n] = h
+		}
+		r.mu.Unlock()
+		if len(hs.Counts) != len(h.counts) {
+			continue
+		}
+		for i, ct := range hs.Counts {
+			h.counts[i].Add(ct)
+		}
+		h.sum.Add(hs.Sum)
+	}
+	for n, sp := range s.Spans {
+		r.mergeSpan(n, sp.Count, time.Duration(sp.Seconds*1e9))
+	}
+}
+
+// mergeSpan folds an aggregate (count runs totalling d) into a span
+// series, the multi-run counterpart of RecordSpan.
+func (r *Registry) mergeSpan(series string, count uint64, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.spans[series]
+	if a == nil {
+		a = &spanAgg{}
+		r.spans[series] = a
+	}
+	a.count += count
+	a.nanos += int64(d)
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestRegistryMerge(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("c").Add(3)
+	src.Gauge("g").Max(7)
+	src.Histogram("h", []uint64{1, 2}).Observe(2)
+	src.Histogram("h", []uint64{1, 2}).Observe(100)
+	src.RecordSpan(`p{phase="x"}`, 2*time.Second)
+
+	dst := NewRegistry()
+	dst.Counter("c").Add(1)
+	dst.Gauge("g").Max(9)
+	dst.Histogram("h", []uint64{1, 2}).Observe(1)
+	dst.Merge(src.Snapshot())
+
+	if got := dst.Counter("c").Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if got := dst.Gauge("g").Value(); got != 9 {
+		t.Errorf("gauge = %d, want 9 (max, not sum)", got)
+	}
+	hs := dst.Snapshot().Histograms["h"]
+	if !reflect.DeepEqual(hs.Counts, []uint64{1, 1, 1}) || hs.Sum != 103 {
+		t.Errorf("histogram = %+v, want counts [1 1 1] sum 103", hs)
+	}
+	sp := dst.Snapshot().Spans[`p{phase="x"}`]
+	if sp.Count != 1 || sp.Seconds < 1.9 || sp.Seconds > 2.1 {
+		t.Errorf("span = %+v, want count 1 seconds ~2", sp)
+	}
+
+	// Merging twice doubles the additive sections; gauges stay at max.
+	dst.Merge(src.Snapshot())
+	if got := dst.Counter("c").Value(); got != 7 {
+		t.Errorf("counter after second merge = %d, want 7", got)
+	}
+}
+
+func TestRegistryMergeNilSafe(t *testing.T) {
+	var r *Registry
+	r.Merge(NewRegistry().Snapshot()) // must not panic
+	NewRegistry().Merge(nil)
+}
+
+func TestRegistryMergeMismatchedBoundsSkips(t *testing.T) {
+	src := NewRegistry()
+	src.Histogram("h", []uint64{1}).Observe(1)
+	snap := src.Snapshot()
+
+	dst := NewRegistry()
+	dst.Histogram("h", []uint64{1, 2}).Observe(1)
+	dst.Merge(snap)
+	hs := dst.Snapshot().Histograms["h"]
+	if hs.Count != 1 {
+		t.Errorf("mismatched-bounds merge changed the histogram: %+v", hs)
+	}
+}

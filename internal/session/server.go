@@ -130,6 +130,10 @@ type RecordJSON struct {
 	// zeroed): byte-identical to `cfc-inject -report-json` for the same
 	// configuration, which the CI smoke test diffs against.
 	Report string `json:"report,omitempty"`
+	// Cached marks a campaign answered from the graph cell cache: the
+	// classified results are byte-identical to an executed run, but no
+	// samples actually executed (Workers and ElapsedSec read zero).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Handler returns the API mux:
@@ -263,16 +267,11 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 		CkptInterval: body.CkptInterval,
 	}
 	ctx := req.Context()
-	sess, err := s.Registry.Session(ctx, k)
-	if err != nil {
-		// The key never became a session, so this is a request problem
-		// (unknown workload/technique/policy) or a canceled client; either
-		// way the stream has not started and a plain status still works.
-		status := http.StatusBadRequest
-		if ctx.Err() != nil {
-			status = http.StatusServiceUnavailable
-		}
-		http.Error(w, err.Error(), status)
+	// Validate the key without building: campaigns go through RunCell,
+	// where a graph-cache hit must not pay a session build — but a bad
+	// request still deserves a plain status before the stream commits.
+	if err := s.Registry.Validate(k); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 
@@ -344,11 +343,12 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 	for i, c := range body.Campaigns {
 		bp.campaign.Store(int64(i))
 		rec := RecordJSON{Index: i, Seed: c.Seed, Samples: c.Samples}
-		rep, err := sess.Run(ctx, Spec{Samples: c.Samples, Seed: c.Seed}, opts)
+		rep, cached, err := s.Registry.RunCell(ctx, k, Spec{Samples: c.Samples, Seed: c.Seed}, opts)
 		if err != nil {
 			rec.Error = err.Error()
 		} else {
 			fillRecord(&rec, rep)
+			rec.Cached = cached
 		}
 		if encErr := emit(rec); encErr != nil {
 			return // client went away

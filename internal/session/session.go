@@ -18,7 +18,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -30,9 +29,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dbt"
+	"repro/internal/fp"
+	"repro/internal/graph"
 	"repro/internal/inject"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/workloads"
 )
 
 // Key identifies one warm session: everything that shapes the snapshot and
@@ -58,16 +60,7 @@ func (k Key) String() string {
 // sanitized plus a hash of the exact fingerprint, so distinct keys never
 // share a file even when sanitizing collides.
 func (k Key) fileName() string {
-	s := k.String()
-	sanitized := strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
-			r == '.', r == '-':
-			return r
-		}
-		return '_'
-	}, s)
-	return fmt.Sprintf("%s_%08x.ckpt", sanitized, crc32.ChecksumIEEE([]byte(s)))
+	return fp.FileName(k.String(), ".ckpt")
 }
 
 // Session is one warm configuration: the built (and, for the static
@@ -159,6 +152,10 @@ type Config struct {
 	// (session_{hits,misses,evictions}_total, ckpt_disk_{hits,rerecords}_
 	// total) plus the recording counters of every build.
 	Metrics *obs.Registry
+	// Graph, when non-nil, caches whole campaign cells by content key:
+	// RunCell consults it before building a session, so a hit skips the
+	// warm/record/inject pipeline entirely (see internal/graph).
+	Graph *graph.Cache
 }
 
 // Registry builds sessions on demand, deduplicates concurrent builds of
@@ -230,8 +227,9 @@ func (r *Registry) Session(ctx context.Context, k Key) (*Session, error) {
 	e := &entry{ready: make(chan struct{})}
 	r.sessions[k] = e
 	r.order = append(r.order, k)
-	r.evictLocked()
+	evicted := r.evictLocked()
 	r.mu.Unlock()
+	r.sweepEvicted(evicted)
 	r.count("session_misses_total")
 
 	e.sess, e.err = r.build(ctx, k)
@@ -247,6 +245,66 @@ func (r *Registry) Session(ctx context.Context, k Key) (*Session, error) {
 		r.mu.Unlock()
 	}
 	return e.sess, e.err
+}
+
+// Graph returns the registry's cell cache (nil when disabled).
+func (r *Registry) Graph() *graph.Cache { return r.cfg.Graph }
+
+// RunCell resolves one campaign cell — Session+Run fused behind the
+// graph cache. With no cache configured it builds the session and runs as
+// always. With one, the cell's content key (program bytes, configuration,
+// engine identity) is looked up first: a hit returns the cached
+// normalized report without even building the session; a miss builds,
+// runs, and stores the result for next time. cached reports which path
+// answered. Reports are byte-identical either way, except that cached
+// reports carry zero Workers/Elapsed (wall clock was not spent).
+func (r *Registry) RunCell(ctx context.Context, k Key, spec Spec, opts core.Options) (*inject.Report, bool, error) {
+	g := r.cfg.Graph
+	if g == nil {
+		sess, err := r.Session(ctx, k)
+		if err != nil {
+			return nil, false, err
+		}
+		rep, err := sess.Run(ctx, spec, opts)
+		return rep, false, err
+	}
+	prog, err := r.program(k.Workload, k.Scale)
+	if err != nil {
+		return nil, false, err
+	}
+	ck := graph.KeyFor(prog, k.Technique, k.Style, k.Policy, spec.Samples, spec.Seed,
+		k.CkptInterval, opts.Backend, r.cfg.MaxSteps)
+	return g.Run(ck, opts.Metrics, func(m *obs.Registry) (*inject.Report, error) {
+		sess, err := r.Session(ctx, k)
+		if err != nil {
+			return nil, err
+		}
+		copts := opts
+		copts.Metrics = m
+		return sess.Run(ctx, spec, copts)
+	})
+}
+
+// Validate checks a key's campaign-independent fields — workload name,
+// technique, style, policy — without building anything, so the batch API
+// can reject a bad request with a status code before the stream (and any
+// graph-cache consultation) starts.
+func (r *Registry) Validate(k Key) error {
+	if _, err := workloads.ByName(k.Workload); err != nil {
+		return err
+	}
+	if _, err := core.ParsePolicy(k.Policy); err != nil {
+		return err
+	}
+	if _, ok := staticKind(k.Technique); ok {
+		return nil
+	}
+	style, err := core.ParseStyle(k.Style)
+	if err != nil {
+		return err
+	}
+	_, err = check.New(k.Technique, style)
+	return err
 }
 
 // touchLocked moves k to the most-recently-used end.
@@ -265,11 +323,14 @@ func (r *Registry) dropOrderLocked(k Key) {
 }
 
 // evictLocked drops least-recently-used completed sessions until the warm
-// set fits the bound. In-flight builds are never evicted.
-func (r *Registry) evictLocked() {
+// set fits the bound, returning the evicted keys for the disk sweep (the
+// file I/O must not run under the lock). In-flight builds are never
+// evicted.
+func (r *Registry) evictLocked() []Key {
 	if r.cfg.MaxSessions <= 0 {
-		return
+		return nil
 	}
+	var evicted []Key
 	for i := 0; len(r.sessions) > r.cfg.MaxSessions && i < len(r.order); {
 		k := r.order[i]
 		e := r.sessions[k]
@@ -278,8 +339,40 @@ func (r *Registry) evictLocked() {
 			delete(r.sessions, k)
 			r.order = append(r.order[:i], r.order[i+1:]...)
 			r.count("session_evictions_total")
+			evicted = append(evicted, k)
 		default:
 			i++ // in flight; try the next oldest
+		}
+	}
+	return evicted
+}
+
+// sweepEvicted inspects each evicted session's on-disk checkpoint log and
+// deletes it when it is version-stale (decodes cleanly under a different
+// fingerprint): such a file can never satisfy a future load, so leaving
+// it would accumulate dead bytes in the cache directory. Valid files stay
+// — the next build of the same key is exactly who they serve — and
+// corrupt files stay too, to be overwritten in place by that build's
+// re-record.
+func (r *Registry) sweepEvicted(evicted []Key) {
+	if r.cfg.CacheDir == "" {
+		return
+	}
+	for _, k := range evicted {
+		if k.CkptInterval == 0 {
+			continue // replay sessions have no log
+		}
+		path := filepath.Join(r.cfg.CacheDir, k.fileName())
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		_, err = ckpt.DecodeLog(f, k.String())
+		f.Close()
+		if errors.Is(err, ckpt.ErrStale) {
+			if os.Remove(path) == nil {
+				r.count("ckpt_disk_stale_deleted_total")
+			}
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/inject"
 	"repro/internal/obs"
 )
@@ -245,6 +246,118 @@ func TestStaleCacheFallsBack(t *testing.T) {
 			t.Errorf("rerecords = %d, want 1", got)
 		}
 	})
+}
+
+// Evicting a session sweeps its on-disk log exactly when the file is
+// version-stale: dead bytes (a log recorded under another fingerprint)
+// are deleted, a valid file stays for the key's next build.
+func TestEvictionSweepsStaleDiskLog(t *testing.T) {
+	dir := t.TempDir()
+	a, b := testKey("RCF", -1), testKey("none", -1)
+	reg := obs.NewRegistry()
+	r := NewRegistry(Config{CacheDir: dir, MaxSessions: 1, Metrics: reg})
+
+	sa := mustSession(t, r, a)
+	path := filepath.Join(dir, a.fileName())
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache file not written: %v", err)
+	}
+
+	// Replace a's log with one recorded under a different fingerprint —
+	// the shape a version bump or config change leaves behind — and evict.
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Log().EncodeTo(f, "some|other|key"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	mustSession(t, r, b) // evicts a
+	if got := counter(reg, "session_evictions_total"); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("stale log survived eviction (stat: %v)", err)
+	}
+	if got := counter(reg, "ckpt_disk_stale_deleted_total"); got != 1 {
+		t.Errorf("stale deletions = %d, want 1", got)
+	}
+
+	// Control: a valid file must survive its session's eviction — it is
+	// exactly what the next build of the same key loads.
+	mustSession(t, r, a) // rebuilds and rewrites the file, evicts b
+	mustSession(t, r, b) // evicts a again, now with a valid file
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("valid log deleted on eviction: %v", err)
+	}
+	if got := counter(reg, "ckpt_disk_stale_deleted_total"); got != 1 {
+		t.Errorf("stale deletions after valid eviction = %d, want 1", got)
+	}
+}
+
+// RunCell behind a graph cache: the first call computes through a session,
+// the second answers from the cache without touching the session layer,
+// and both render identically.
+func TestRunCellGraphCache(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := NewRegistry(Config{Metrics: reg, Graph: graph.New("")})
+	k := testKey("RCF", -1)
+	spec := Spec{Samples: testSamples, Seed: 7}
+	opts := core.Options{Metrics: reg}
+
+	rep1, cached1, err := r.RunCell(context.Background(), k, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached1 {
+		t.Error("cold cell claimed a cache hit")
+	}
+	if got := counter(reg, "session_misses_total"); got != 1 {
+		t.Errorf("cold cell session misses = %d, want 1", got)
+	}
+
+	rep2, cached2, err := r.RunCell(context.Background(), k, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached2 {
+		t.Error("warm cell missed the cache")
+	}
+	// The hit answered before the session layer: no new build, no hit.
+	if got := counter(reg, "session_misses_total") + counter(reg, "session_hits_total"); got != 1 {
+		t.Errorf("warm cell touched the session layer (hits+misses = %d, want 1)", got)
+	}
+	if got, want := inject.FormatNormalized(rep2), inject.FormatNormalized(rep1); got != want {
+		t.Errorf("cached cell renders differently\n got: %s\nwant: %s", got, want)
+	}
+
+	// Without a cache RunCell is Session+Run: never cached.
+	r2 := NewRegistry(Config{})
+	if _, cached, err := r2.RunCell(context.Background(), k, spec, core.Options{}); err != nil || cached {
+		t.Errorf("uncached RunCell: cached=%v err=%v", cached, err)
+	}
+}
+
+// Validate rejects bad campaign-independent fields without building.
+func TestValidate(t *testing.T) {
+	r := NewRegistry(Config{})
+	if err := r.Validate(testKey("RCF", -1)); err != nil {
+		t.Errorf("valid key rejected: %v", err)
+	}
+	if err := r.Validate(testKey("CFCSS", 0)); err != nil {
+		t.Errorf("static technique rejected: %v", err)
+	}
+	for name, k := range map[string]Key{
+		"workload":  {Workload: "999.nope", Technique: "RCF", Style: "CMOVcc", Policy: "ALLBB"},
+		"technique": {Workload: testWorkload, Technique: "XYZ", Style: "CMOVcc", Policy: "ALLBB"},
+		"style":     {Workload: testWorkload, Technique: "RCF", Style: "weird", Policy: "ALLBB"},
+		"policy":    {Workload: testWorkload, Technique: "RCF", Style: "CMOVcc", Policy: "nope"},
+	} {
+		if err := r.Validate(k); err == nil {
+			t.Errorf("bad %s accepted", name)
+		}
+	}
 }
 
 // Concurrent first requests for one key must share a single build.
