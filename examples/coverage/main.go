@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := inject.StaticCampaign(ip, kind.String(), inject.Config{Samples: samples, Seed: seed})
+		rep, err := inject.Execute(context.Background(), ip, inject.Config{Samples: samples, Seed: seed},
+			inject.AsStatic(kind.String()))
 		if err != nil {
 			log.Fatal(err)
 		}

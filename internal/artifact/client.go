@@ -1,0 +1,219 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Client fetches and publishes artifacts against an optional remote
+// store, with a local pull-through cache. Every fetch is verified twice
+// before anything is trusted: the blob bytes must hash to the digest the
+// ref named, and the decoded envelope must carry the exact fingerprint
+// the caller derived locally. Any failure returns nil — the caller
+// builds locally — after bumping the counter matching the failure class:
+//
+//	artifact_fetch_hits_total     verified artifact served (local or remote)
+//	artifact_fetch_misses_total   no store holds the fingerprint
+//	artifact_fetch_stale_total    bytes decoded under a different fingerprint
+//	artifact_fetch_corrupt_total  digest mismatch or unreadable bytes
+//	artifact_fetch_errors_total   transport/server failure
+//
+// A nil *Client disables the tier (Fetch misses, Publish drops).
+type Client struct {
+	// BaseURL is the remote store ("http://host:port"); "" runs
+	// local-store-only (publish warms the local store, fetch consults only
+	// it — the mode a replica serving its own store runs in).
+	BaseURL string
+	// HTTP is the transport (nil uses a client with a short timeout:
+	// the fallback is a local build, so a slow store must not stall it).
+	HTTP *http.Client
+	// Local is the pull-through cache (nil disables local caching).
+	Local *Store
+	// Metrics receives the fetch/publish counters and the artifact_fetch
+	// span (nil drops them).
+	Metrics *obs.Registry
+}
+
+// defaultTimeout bounds one store round trip.
+const defaultTimeout = 30 * time.Second
+
+func (c *Client) count(name string) {
+	if c != nil && c.Metrics != nil {
+		c.Metrics.Counter(name).Add(1)
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: defaultTimeout}
+}
+
+// Fetch returns the verified artifact for fingerprint, or nil when no
+// store can serve one (for any reason — the caller's contract is "nil
+// means build locally"). The whole resolution is timed into an
+// artifact_fetch span.
+func (c *Client) Fetch(fingerprint string) *Artifact {
+	if c == nil {
+		return nil
+	}
+	start := time.Now()
+	a := c.fetch(fingerprint)
+	if c.Metrics != nil {
+		c.Metrics.RecordSpan("artifact_fetch", time.Since(start))
+	}
+	return a
+}
+
+func (c *Client) fetch(fingerprint string) *Artifact {
+	refID := RefID(fingerprint)
+	if digest, ok := c.Local.Resolve(refID); ok {
+		if blob, ok := c.Local.Get(digest); ok {
+			if a := c.verify(blob, digest, fingerprint); a != nil {
+				c.count("artifact_fetch_hits_total")
+				return a
+			}
+			// The local copy failed verification; fall through to the
+			// remote, which may hold a fresh one.
+		}
+	}
+	if c.BaseURL == "" {
+		c.count("artifact_fetch_misses_total")
+		return nil
+	}
+	digest, err, found := c.remoteRef(refID)
+	if err != nil {
+		c.count("artifact_fetch_errors_total")
+		return nil
+	}
+	if !found {
+		c.count("artifact_fetch_misses_total")
+		return nil
+	}
+	blob, err := c.remoteBlob(digest)
+	if err != nil {
+		c.count("artifact_fetch_errors_total")
+		return nil
+	}
+	if Digest(blob) != digest {
+		c.count("artifact_fetch_corrupt_total")
+		return nil
+	}
+	a := c.verify(blob, digest, fingerprint)
+	if a == nil {
+		return nil
+	}
+	if c.Local != nil {
+		c.Local.Put(blob)
+		c.Local.Link(refID, digest)
+	}
+	c.count("artifact_fetch_hits_total")
+	return a
+}
+
+// verify decodes blob under fingerprint, counting the failure class. The
+// digest is assumed already checked (local blobs are re-verified by
+// Store.Get; remote blobs by fetch).
+func (c *Client) verify(blob []byte, digest, fingerprint string) *Artifact {
+	a, err := Decode(blob, fingerprint)
+	switch {
+	case err == nil:
+		return a
+	case errors.Is(err, ErrStale):
+		c.count("artifact_fetch_stale_total")
+	default:
+		c.count("artifact_fetch_corrupt_total")
+	}
+	return nil
+}
+
+// remoteRef resolves refID at the remote store. found=false with err=nil
+// is a clean 404 (nobody published yet).
+func (c *Client) remoteRef(refID string) (digest string, err error, found bool) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/artifacts/ref/" + refID)
+	if err != nil {
+		return "", err, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return "", nil, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("artifact: ref %s: status %d", refID, resp.StatusCode), false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 128))
+	if err != nil {
+		return "", err, false
+	}
+	if !hexName(string(body)) {
+		return "", fmt.Errorf("artifact: ref %s: malformed digest", refID), false
+	}
+	return string(body), nil, true
+}
+
+func (c *Client) remoteBlob(digest string) ([]byte, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/artifacts/blob/" + digest)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("artifact: blob %s: status %d", digest, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes+1))
+}
+
+// Publish encodes a and pushes it to the local store and — when a remote
+// is configured — the remote store, best effort: a failed publish counts
+// into artifact_publish_errors_total and is otherwise silent (the next
+// warm process re-publishes).
+func (c *Client) Publish(a *Artifact, fingerprint string) {
+	if c == nil {
+		return
+	}
+	blob := a.Encode(fingerprint)
+	digest := Digest(blob)
+	refID := RefID(fingerprint)
+	if c.Local != nil {
+		c.Local.Put(blob)
+		c.Local.Link(refID, digest)
+	}
+	if c.BaseURL != "" {
+		if err := c.remotePublish(refID, digest, blob); err != nil {
+			c.count("artifact_publish_errors_total")
+			return
+		}
+	}
+	c.count("artifact_publish_total")
+}
+
+func (c *Client) remotePublish(refID, digest string, blob []byte) error {
+	if err := c.put("/v1/artifacts/blob/"+digest, blob); err != nil {
+		return err
+	}
+	return c.put("/v1/artifacts/ref/"+refID, []byte(digest))
+}
+
+func (c *Client) put(path string, body []byte) error {
+	req, err := http.NewRequest(http.MethodPut, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("artifact: PUT %s: status %d", path, resp.StatusCode)
+	}
+	return nil
+}

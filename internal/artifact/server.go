@@ -1,0 +1,85 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBlobBytes bounds one uploaded artifact (a warm snapshot plus log is
+// typically well under a megabyte; the bound only exists so a hostile
+// client cannot exhaust memory).
+const maxBlobBytes = 1 << 28
+
+// Handler serves a store over HTTP:
+//
+//	GET  /v1/artifacts               ref index as JSON
+//	GET  /v1/artifacts/ref/{ref}     digest the ref points at (text)
+//	PUT  /v1/artifacts/ref/{ref}     point ref at an uploaded digest
+//	GET  /v1/artifacts/blob/{digest} blob bytes
+//	PUT  /v1/artifacts/blob/{digest} upload a blob (digest-verified)
+//	GET  /healthz                    liveness
+//
+// The server never decodes artifacts — integrity is content addressing
+// (an uploaded blob must hash to its claimed digest; a ref may only name
+// a blob the store holds) and the client's own fingerprint verification.
+func Handler(s *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/artifacts", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"refs": s.Refs()})
+	})
+	mux.HandleFunc("GET /v1/artifacts/ref/{ref}", func(w http.ResponseWriter, r *http.Request) {
+		digest, ok := s.Resolve(r.PathValue("ref"))
+		if !ok {
+			http.Error(w, "unknown ref", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, digest)
+	})
+	mux.HandleFunc("PUT /v1/artifacts/ref/{ref}", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 128))
+		if err != nil || !hexName(string(body)) {
+			http.Error(w, "body must be a blob digest", http.StatusBadRequest)
+			return
+		}
+		if err := s.Link(r.PathValue("ref"), string(body)); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/artifacts/blob/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		b, ok := s.Get(r.PathValue("digest"))
+		if !ok {
+			http.Error(w, "unknown blob", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(b)
+	})
+	mux.HandleFunc("PUT /v1/artifacts/blob/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		want := r.PathValue("digest")
+		if !hexName(want) {
+			http.Error(w, "bad digest", http.StatusBadRequest)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBlobBytes+1))
+		if err != nil || len(body) > maxBlobBytes {
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		if got := Digest(body); got != want {
+			http.Error(w, fmt.Sprintf("digest mismatch: body is %s", got), http.StatusBadRequest)
+			return
+		}
+		s.Put(body)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}

@@ -1,0 +1,187 @@
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a content-addressed artifact store: blobs addressed by their
+// SHA-256 digest plus refs mapping fingerprint identities (RefID) to
+// digests. The memory layer is always present; when a directory is
+// configured, blobs and refs persist under dir/blobs and dir/refs via
+// temp file + rename, best effort — a read-only or full disk degrades to
+// memory-only, never to an error. A nil *Store is valid and empty.
+type Store struct {
+	dir string // "" = memory-only
+
+	mu    sync.Mutex
+	blobs map[string][]byte
+	refs  map[string]string
+}
+
+// NewStore returns a store persisting under dir ("" keeps artifacts in
+// memory only).
+func NewStore(dir string) *Store {
+	return &Store{dir: dir, blobs: map[string][]byte{}, refs: map[string]string{}}
+}
+
+// Dir returns the persistence directory ("" when memory-only).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// hexName reports whether name is a fixed-width lowercase hex digest —
+// the only names Put/Get/Link/Resolve mint, and the only ones the disk
+// layer will touch (so a hostile path element can never escape dir).
+func hexName(name string) bool {
+	if len(name) != 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Put stores a blob under its content digest and returns the digest.
+func (s *Store) Put(blob []byte) string {
+	digest := Digest(blob)
+	cp := append([]byte(nil), blob...)
+	s.mu.Lock()
+	s.blobs[digest] = cp
+	s.mu.Unlock()
+	s.writeFile(filepath.Join("blobs", digest), cp)
+	return digest
+}
+
+// Get returns the blob for digest. A disk hit is re-verified against the
+// digest before being trusted (content addressing makes corruption
+// self-evident); a mismatching file reads as missing.
+func (s *Store) Get(digest string) ([]byte, bool) {
+	if s == nil || !hexName(digest) {
+		return nil, false
+	}
+	s.mu.Lock()
+	b, ok := s.blobs[digest]
+	s.mu.Unlock()
+	if ok {
+		return b, true
+	}
+	if s.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir, "blobs", digest))
+	if err != nil || Digest(b) != digest {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.blobs[digest] = b
+	s.mu.Unlock()
+	return b, true
+}
+
+// Link points refID at digest. The blob must already be present, so a
+// ref can never dangle within one store.
+func (s *Store) Link(refID, digest string) error {
+	if !hexName(refID) || !hexName(digest) {
+		return fmt.Errorf("artifact: bad ref %q -> %q", refID, digest)
+	}
+	if _, ok := s.Get(digest); !ok {
+		return fmt.Errorf("artifact: ref %q targets unknown blob %q", refID, digest)
+	}
+	s.mu.Lock()
+	s.refs[refID] = digest
+	s.mu.Unlock()
+	s.writeFile(filepath.Join("refs", refID), []byte(digest))
+	return nil
+}
+
+// Resolve returns the digest refID points at.
+func (s *Store) Resolve(refID string) (string, bool) {
+	if s == nil || !hexName(refID) {
+		return "", false
+	}
+	s.mu.Lock()
+	d, ok := s.refs[refID]
+	s.mu.Unlock()
+	if ok {
+		return d, true
+	}
+	if s.dir == "" {
+		return "", false
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir, "refs", refID))
+	if err != nil || !hexName(string(b)) {
+		return "", false
+	}
+	d = string(b)
+	s.mu.Lock()
+	s.refs[refID] = d
+	s.mu.Unlock()
+	return d, true
+}
+
+// Refs snapshots the ref table (for the index endpoint).
+func (s *Store) Refs() map[string]string {
+	if s == nil {
+		return nil
+	}
+	s.loadRefDir()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.refs))
+	for k, v := range s.refs {
+		out[k] = v
+	}
+	return out
+}
+
+// loadRefDir folds any on-disk refs not yet in memory (written by an
+// earlier process) into the memory layer.
+func (s *Store) loadRefDir() {
+	if s.dir == "" {
+		return
+	}
+	entries, err := os.ReadDir(filepath.Join(s.dir, "refs"))
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if hexName(e.Name()) {
+			s.Resolve(e.Name())
+		}
+	}
+}
+
+// writeFile persists rel under dir via temp file + rename, best effort.
+func (s *Store) writeFile(rel string, b []byte) {
+	if s.dir == "" {
+		return
+	}
+	dst := filepath.Join(s.dir, rel)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".art-*")
+	if err != nil {
+		return
+	}
+	_, err = tmp.Write(b)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), dst)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -146,7 +147,7 @@ func DataFlowCoverage(scale float64, samples int, seed int64, workers int, ckptI
 			if err != nil {
 				return nil, err
 			}
-			rep, err := inject.Campaign(p, inject.Config{
+			rep, err := inject.Execute(context.Background(), p, inject.Config{
 				Technique: c.tech, Body: c.body, RegFaults: true,
 				Samples: samples, Seed: seed,
 				Options: inject.Options{Workers: workers, CkptInterval: ckptInterval},

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -72,7 +73,7 @@ func PolicyLatency(scale float64, samples int, seed int64, workers int, ckptInte
 			if err != nil {
 				return nil, err
 			}
-			rep, err := inject.Campaign(p, inject.Config{
+			rep, err := inject.Execute(context.Background(), p, inject.Config{
 				Technique: &check.RCF{Style: dbt.UpdateCmov},
 				Policy:    pol,
 				Samples:   samples,

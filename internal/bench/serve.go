@@ -3,12 +3,10 @@ package bench
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 
 	"repro/internal/core"
-	"repro/internal/obs"
 	"repro/internal/session"
 )
 
@@ -23,58 +21,66 @@ type BenchRequest struct {
 	Figures []string `json:"figures"`
 }
 
-// Served-suite bounds, mirroring the campaign endpoint's MaxSamples gate:
-// one unauthenticated POST must not be able to pin the server on an
-// arbitrarily large run. Full-scale (1.0) figures belong to cfc-bench
-// batch runs on the machine's own terms.
-const (
-	maxServeScale   = 1.0
-	maxServeWorkers = 256
-)
-
-// validate rejects out-of-range suite parameters before any work starts.
-func (r BenchRequest) validate(maxSamples int) error {
-	if r.Samples < 0 || r.Samples > maxSamples {
-		return fmt.Errorf("samples %d out of range [0, %d]", r.Samples, maxSamples)
+// validate rejects out-of-range suite parameters before any work starts,
+// against the serve mux's shared bounds: one unauthenticated POST must
+// not be able to pin the server on an arbitrarily large run. Full-scale
+// (1.0) figures belong to cfc-bench batch runs on the machine's own
+// terms.
+func (r BenchRequest) validate(limits session.Limits) error {
+	if err := limits.CheckSamples(r.Samples); err != nil {
+		return err
 	}
-	if r.Scale < 0 || r.Scale > maxServeScale {
-		return fmt.Errorf("scale %g out of range [0, %g]", r.Scale, maxServeScale)
+	if err := limits.CheckScale(r.Scale); err != nil {
+		return err
 	}
-	if r.Workers < 0 || r.Workers > maxServeWorkers {
-		return fmt.Errorf("workers %d out of range [0, %d]", r.Workers, maxServeWorkers)
-	}
-	return nil
+	return limits.CheckWorkers(r.Workers)
 }
 
-// Handler serves the bench suite over the given warm-session registry as
-// an NDJSON stream of SuiteFrames, one per line, flushed as produced.
+// Handler serves the bench suite over the server's warm-session registry
+// as an NDJSON stream of SuiteFrames, one per line, flushed as produced.
 // The handler lives here rather than in package session because bench
-// already imports session; cfc-serve mounts it next to the session
-// server's handler on an outer mux.
-func Handler(reg *session.Registry, metrics *obs.Registry) http.Handler {
+// already imports session; cfc-serve mounts it on the session server's
+// mux as an extra Route, so it shares the server's request bounds, error
+// shape and batch tracking — the run's Campaign-Id is pollable at
+// GET /v1/campaigns/{id}/progress like any campaign batch.
+func Handler(srv *session.Server) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var req BenchRequest
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			session.WriteError(w, http.StatusBadRequest, "bad request: %v", err)
 			return
 		}
-		if err := req.validate(session.DefaultMaxSamples); err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		if err := req.validate(srv.Limits); err != nil {
+			session.WriteError(w, http.StatusBadRequest, "bad request: %v", err)
 			return
 		}
+		figures := req.Figures
+		if len(figures) == 0 {
+			figures = DefaultSuiteFigures
+		}
+		batch := srv.TrackBatch(len(figures))
+		defer batch.Finish()
+		w.Header().Set("Campaign-Id", batch.ID())
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
+		figureIndex := map[string]int{}
+		for i, f := range figures {
+			figureIndex[f] = i
+		}
 		RunSuite(r.Context(), SuiteConfig{
 			Scale:    req.Scale,
 			Samples:  req.Samples,
 			Seed:     req.Seed,
-			Figures:  req.Figures,
-			Sessions: reg,
-			Options:  core.Options{Metrics: metrics, Workers: req.Workers},
+			Figures:  figures,
+			Sessions: srv.Registry,
+			Options:  core.Options{Metrics: srv.Metrics, Workers: req.Workers, Progress: batch.Tracker()},
 		}, func(f SuiteFrame) error {
+			if i, ok := figureIndex[f.Figure]; ok {
+				batch.SetCampaign(i)
+			}
 			if err := enc.Encode(f); err != nil {
 				return err
 			}

@@ -35,7 +35,8 @@ func decodeFrames(t *testing.T, body string) []SuiteFrame {
 func TestBenchHandlerStreamsSuite(t *testing.T) {
 	metrics := obs.NewRegistry()
 	reg := session.NewRegistry(session.Config{Metrics: metrics})
-	ts := httptest.NewServer(Handler(reg, metrics))
+	srv := &session.Server{Registry: reg, Metrics: metrics}
+	ts := httptest.NewServer(Handler(srv))
 	defer ts.Close()
 
 	resp, err := http.Post(ts.URL, "application/json",
@@ -49,6 +50,9 @@ func TestBenchHandlerStreamsSuite(t *testing.T) {
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Errorf("content-type %q", ct)
+	}
+	if id := resp.Header.Get("Campaign-Id"); id == "" {
+		t.Error("no Campaign-Id header: bench runs are not batch-tracked")
 	}
 	var body strings.Builder
 	sc := bufio.NewScanner(resp.Body)
@@ -96,7 +100,8 @@ func TestBenchHandlerStreamsSuite(t *testing.T) {
 func TestBenchHandlerRejectsBadBody(t *testing.T) {
 	metrics := obs.NewRegistry()
 	reg := session.NewRegistry(session.Config{Metrics: metrics})
-	ts := httptest.NewServer(Handler(reg, metrics))
+	srv := &session.Server{Registry: reg, Metrics: metrics}
+	ts := httptest.NewServer(Handler(srv))
 	defer ts.Close()
 
 	resp, err := http.Post(ts.URL, "application/json", strings.NewReader(`{"bogus":1}`))
@@ -115,7 +120,8 @@ func TestBenchHandlerRejectsBadBody(t *testing.T) {
 func TestBenchHandlerRejectsOutOfRange(t *testing.T) {
 	metrics := obs.NewRegistry()
 	reg := session.NewRegistry(session.Config{Metrics: metrics})
-	ts := httptest.NewServer(Handler(reg, metrics))
+	srv := &session.Server{Registry: reg, Metrics: metrics}
+	ts := httptest.NewServer(Handler(srv))
 	defer ts.Close()
 
 	cases := []struct {
@@ -147,7 +153,8 @@ func TestBenchHandlerRejectsOutOfRange(t *testing.T) {
 func TestBenchHandlerUnknownFigure(t *testing.T) {
 	metrics := obs.NewRegistry()
 	reg := session.NewRegistry(session.Config{Metrics: metrics})
-	ts := httptest.NewServer(Handler(reg, metrics))
+	srv := &session.Server{Registry: reg, Metrics: metrics}
+	ts := httptest.NewServer(Handler(srv))
 	defer ts.Close()
 
 	resp, err := http.Post(ts.URL, "application/json",

@@ -23,22 +23,24 @@
 // A recorded Log can be persisted with Log.EncodeTo and reloaded with
 // DecodeLog, so repeated campaigns on the same configuration skip the
 // reference-run recording entirely (the session registry keys these files
-// by workload, scale, technique, style, policy and interval). The format
-// is a single flat binary file, all integers little-endian:
+// by workload, scale, technique, style, policy and interval). The file is
+// a frame.Seal envelope, all integers little-endian:
 //
 //	offset  field
-//	0       magic: the 8 ASCII bytes "CFCKLOG1" (the trailing digit is
+//	0       magic: the 8 ASCII bytes "CFCKLOG2" (the trailing digit is
 //	        the format version; incompatible layout changes bump it, and
-//	        decoders reject any other magic)
-//	8       payload (below)
+//	        decoders reject any other magic — version-1 files decode
+//	        corrupt and are re-recorded in place)
+//	8       fingerprint section: u32 length + bytes — an opaque
+//	        caller-supplied identity string (the session cache writes its
+//	        key here); DecodeLog rejects the file as stale when it does
+//	        not match
+//	...     body section: u32 length + the payload below
 //	end-4   checksum: IEEE CRC-32 of every preceding byte (magic
 //	        included); a mismatch marks the file corrupt
 //
-// The payload is a fixed field sequence with no padding:
+// The body payload is a fixed field sequence with no padding:
 //
-//	fingerprint  u32 length + bytes — an opaque caller-supplied identity
-//	             string (the session cache writes its key here); DecodeLog
-//	             rejects the file as stale when it does not match
 //	interval     u64   capture spacing in machine steps
 //	memWords     u32   machine memory size in words
 //	truncated    u8    1 when recording stopped early (structural

@@ -1,20 +1,23 @@
 package ckpt
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/cpu"
 	"repro/internal/dbt"
-	"repro/internal/fp"
+	"repro/internal/frame"
 	"repro/internal/isa"
 )
 
 // logMagic identifies the on-disk checkpoint-log format; the trailing
 // digit is the version (see the package documentation for the layout).
-const logMagic = "CFCKLOG1"
+// Version 2 moved the envelope onto the shared frame.Seal layout: the
+// fingerprint and the binary body are two framed sections instead of the
+// version-1 fingerprint-then-unframed-body arrangement. Version-1 files
+// decode as corrupt and are re-recorded in place.
+const logMagic = "CFCKLOG2"
 
 // ErrCorrupt marks a checkpoint-log file whose bytes cannot be decoded:
 // bad magic, checksum mismatch, or a truncated/overlong payload.
@@ -39,184 +42,135 @@ func AutoInterval(knob int64, cleanSteps uint64) uint64 {
 	return iv
 }
 
-// logEncoder serializes into an in-memory buffer while folding every byte
-// into the checksum.
-type logEncoder struct {
-	buf []byte
-}
-
-func (e *logEncoder) u8(v uint8)   { e.buf = append(e.buf, v) }
-func (e *logEncoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
-func (e *logEncoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
-func (e *logEncoder) i64(v int64)  { e.u64(uint64(v)) }
-
-func (e *logEncoder) bytes(b []byte) {
-	e.u32(uint32(len(b)))
-	e.buf = append(e.buf, b...)
-}
-
-func (e *logEncoder) words(ws []int32) {
-	e.u32(uint32(len(ws)))
-	for _, w := range ws {
-		e.u32(uint32(w))
-	}
-}
-
-func (e *logEncoder) state(st *cpu.State) {
+func encodeState(w *frame.Writer, st *cpu.State) {
 	for _, r := range st.Regs {
-		e.u32(uint32(r))
+		w.U32(uint32(r))
 	}
-	e.u8(uint8(st.Flags))
-	e.u32(st.IP)
-	e.u64(st.Cycles)
-	e.u64(st.Steps)
-	e.u64(st.DirectBranches)
-	e.u64(st.IndirectBranches)
-	e.u64(st.SigChecks)
+	w.U8(uint8(st.Flags))
+	w.U32(st.IP)
+	w.U64(st.Cycles)
+	w.U64(st.Steps)
+	w.U64(st.DirectBranches)
+	w.U64(st.IndirectBranches)
+	w.U64(st.SigChecks)
 }
 
-func (e *logEncoder) stats(s *dbt.Stats) {
-	e.i64(int64(s.BlocksTranslated))
-	e.u64(s.GuestInstrsTranslated)
-	e.i64(int64(s.TracesFormed))
-	e.u64(s.Dispatches)
-	e.u64(s.IndirectLookups)
-	e.i64(int64(s.Invalidations))
-	e.i64(int64(s.CheckSites))
+func encodeStats(w *frame.Writer, s *dbt.Stats) {
+	w.I64(int64(s.BlocksTranslated))
+	w.U64(s.GuestInstrsTranslated)
+	w.I64(int64(s.TracesFormed))
+	w.U64(s.Dispatches)
+	w.U64(s.IndirectLookups)
+	w.I64(int64(s.Invalidations))
+	w.I64(int64(s.CheckSites))
 }
 
-// EncodeTo writes the log in the versioned, checksummed on-disk format
-// documented at the package level. fingerprint is an opaque identity
-// string (typically the cache key) that DecodeLog will demand back.
-func (l *Log) EncodeTo(w io.Writer, fingerprint string) error {
-	e := &logEncoder{buf: make([]byte, 0, 64+l.Bytes)}
-	e.buf = append(e.buf, logMagic...)
-	e.bytes([]byte(fingerprint))
-	e.u64(l.Interval)
-	e.u32(l.MemWords)
-	if l.Truncated {
-		e.u8(1)
-	} else {
-		e.u8(0)
-	}
-	e.u32(uint32(l.Stop.Reason))
-	e.u32(l.Stop.IP)
-	e.bytes([]byte(l.Stop.Detail))
-	e.i64(int64(l.CacheSize))
-	e.u64(l.Bytes)
-	e.state(&l.Final)
-	e.stats(&l.FinalPrefix)
-	e.words(l.Output)
-	e.u32(uint32(len(l.Points)))
+// encodeBody serializes the log fields into the binary section of the
+// envelope (everything except the magic, fingerprint and checksum, which
+// frame.Seal supplies).
+func (l *Log) encodeBody() []byte {
+	w := frame.NewWriter(64 + int(l.Bytes))
+	w.U64(l.Interval)
+	w.U32(l.MemWords)
+	w.Bool(l.Truncated)
+	w.U32(uint32(l.Stop.Reason))
+	w.U32(l.Stop.IP)
+	w.String(l.Stop.Detail)
+	w.I64(int64(l.CacheSize))
+	w.U64(l.Bytes)
+	encodeState(w, &l.Final)
+	encodeStats(w, &l.FinalPrefix)
+	w.Words(l.Output)
+	w.U32(uint32(len(l.Points)))
 	for i := range l.Points {
 		pt := &l.Points[i]
-		e.state(&pt.State)
-		e.u32(uint32(pt.OutLen))
-		e.stats(&pt.Prefix)
-		e.u32(uint32(len(pt.Pages)))
+		encodeState(w, &pt.State)
+		w.U32(uint32(pt.OutLen))
+		encodeStats(w, &pt.Prefix)
+		w.U32(uint32(len(pt.Pages)))
 		for _, pg := range pt.Pages {
-			e.u32(pg.Index)
-			e.words(pg.Words)
+			w.U32(pg.Index)
+			w.Words(pg.Words)
 		}
 	}
-	e.u32(fp.Checksum(e.buf))
-	_, err := w.Write(e.buf)
+	return w.Buf()
+}
+
+// Encode renders the log in the versioned, checksummed on-disk format
+// documented at the package level: a logMagic envelope whose two framed
+// sections are the fingerprint and the binary body. fingerprint is an
+// opaque identity string (typically the cache key) that DecodeLog will
+// demand back.
+func (l *Log) Encode(fingerprint string) []byte {
+	return frame.Seal(logMagic, []byte(fingerprint), l.encodeBody())
+}
+
+// EncodeTo writes Encode's bytes to w.
+func (l *Log) EncodeTo(w io.Writer, fingerprint string) error {
+	_, err := w.Write(l.Encode(fingerprint))
 	return err
 }
 
-// logDecoder walks the checksummed payload, failing sticky on the first
-// out-of-bounds read.
-type logDecoder struct {
-	buf []byte
-	pos int
-	err error
-}
-
-func (d *logDecoder) fail() {
-	if d.err == nil {
-		d.err = fmt.Errorf("%w: payload truncated at byte %d", ErrCorrupt, d.pos)
-	}
-}
-
-func (d *logDecoder) take(n int) []byte {
-	if d.err != nil || n < 0 || d.pos+n > len(d.buf) {
-		d.fail()
-		return nil
-	}
-	b := d.buf[d.pos : d.pos+n]
-	d.pos += n
-	return b
-}
-
-func (d *logDecoder) u8() uint8 {
-	if b := d.take(1); b != nil {
-		return b[0]
-	}
-	return 0
-}
-
-func (d *logDecoder) u32() uint32 {
-	if b := d.take(4); b != nil {
-		return binary.LittleEndian.Uint32(b)
-	}
-	return 0
-}
-
-func (d *logDecoder) u64() uint64 {
-	if b := d.take(8); b != nil {
-		return binary.LittleEndian.Uint64(b)
-	}
-	return 0
-}
-
-func (d *logDecoder) i64() int64 { return int64(d.u64()) }
-
-// count reads a u32 length and bounds it against the bytes remaining at
-// unit size, so a corrupt length cannot drive a huge allocation.
-func (d *logDecoder) count(unit int) int {
-	n := int(d.u32())
-	if d.err == nil && n*unit > len(d.buf)-d.pos {
-		d.fail()
-		return 0
-	}
-	return n
-}
-
-func (d *logDecoder) str() string { return string(d.take(d.count(1))) }
-
-func (d *logDecoder) words() []int32 {
-	n := d.count(4)
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	ws := make([]int32, n)
-	for i := range ws {
-		ws[i] = int32(d.u32())
-	}
-	return ws
-}
-
-func (d *logDecoder) state(st *cpu.State) {
+func decodeState(r *frame.Reader, st *cpu.State) {
 	for i := range st.Regs {
-		st.Regs[i] = int32(d.u32())
+		st.Regs[i] = int32(r.U32())
 	}
-	st.Flags = isa.Flags(d.u8())
-	st.IP = d.u32()
-	st.Cycles = d.u64()
-	st.Steps = d.u64()
-	st.DirectBranches = d.u64()
-	st.IndirectBranches = d.u64()
-	st.SigChecks = d.u64()
+	st.Flags = isa.Flags(r.U8())
+	st.IP = r.U32()
+	st.Cycles = r.U64()
+	st.Steps = r.U64()
+	st.DirectBranches = r.U64()
+	st.IndirectBranches = r.U64()
+	st.SigChecks = r.U64()
 }
 
-func (d *logDecoder) stats(s *dbt.Stats) {
-	s.BlocksTranslated = int(d.i64())
-	s.GuestInstrsTranslated = d.u64()
-	s.TracesFormed = int(d.i64())
-	s.Dispatches = d.u64()
-	s.IndirectLookups = d.u64()
-	s.Invalidations = int(d.i64())
-	s.CheckSites = int(d.i64())
+func decodeStats(r *frame.Reader, s *dbt.Stats) {
+	s.BlocksTranslated = int(r.I64())
+	s.GuestInstrsTranslated = r.U64()
+	s.TracesFormed = int(r.I64())
+	s.Dispatches = r.U64()
+	s.IndirectLookups = r.U64()
+	s.Invalidations = int(r.I64())
+	s.CheckSites = int(r.I64())
+}
+
+// decodeBody reads the fields written by encodeBody.
+func decodeBody(body []byte) (*Log, error) {
+	r := frame.NewReader(body)
+	l := &Log{}
+	l.Interval = r.U64()
+	l.MemWords = r.U32()
+	l.Truncated = r.Bool()
+	l.Stop.Reason = cpu.StopReason(r.U32())
+	l.Stop.IP = r.U32()
+	l.Stop.Detail = r.String()
+	l.CacheSize = int(r.I64())
+	l.Bytes = r.U64()
+	decodeState(r, &l.Final)
+	decodeStats(r, &l.FinalPrefix)
+	l.Output = r.Words()
+	npoints := r.Count(1)
+	if r.Err() == nil && npoints > 0 {
+		l.Points = make([]Point, npoints)
+	}
+	for i := 0; i < npoints && r.Err() == nil; i++ {
+		pt := &l.Points[i]
+		decodeState(r, &pt.State)
+		pt.OutLen = int(r.U32())
+		decodeStats(r, &pt.Prefix)
+		npages := r.Count(8)
+		if r.Err() == nil && npages > 0 {
+			pt.Pages = make([]Page, npages)
+		}
+		for j := 0; j < npages && r.Err() == nil; j++ {
+			pt.Pages[j].Index = r.U32()
+			pt.Pages[j].Words = r.Words()
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return l, nil
 }
 
 // DecodeLog reads a log written by EncodeTo, verifying the magic, the
@@ -229,56 +183,20 @@ func DecodeLog(r io.Reader, fingerprint string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if len(buf) < len(logMagic)+4 {
-		return nil, fmt.Errorf("%w: %d bytes", ErrCorrupt, len(buf))
-	}
-	if string(buf[:len(logMagic)]) != logMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, buf[:len(logMagic)])
-	}
-	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
-	if got, want := fp.Checksum(body), binary.LittleEndian.Uint32(tail); got != want {
-		return nil, fmt.Errorf("%w: checksum %08x, file says %08x", ErrCorrupt, got, want)
-	}
+	return DecodeLogBytes(buf, fingerprint)
+}
 
-	d := &logDecoder{buf: body, pos: len(logMagic)}
-	if fp := d.str(); d.err == nil && fp != fingerprint {
-		return nil, fmt.Errorf("%w: fingerprint %q, want %q", ErrStale, fp, fingerprint)
+// DecodeLogBytes is DecodeLog over an in-memory encoding.
+func DecodeLogBytes(buf []byte, fingerprint string) (*Log, error) {
+	sections, err := frame.Open(logMagic, buf)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	l := &Log{}
-	l.Interval = d.u64()
-	l.MemWords = d.u32()
-	l.Truncated = d.u8() != 0
-	l.Stop.Reason = cpu.StopReason(d.u32())
-	l.Stop.IP = d.u32()
-	l.Stop.Detail = d.str()
-	l.CacheSize = int(d.i64())
-	l.Bytes = d.u64()
-	d.state(&l.Final)
-	d.stats(&l.FinalPrefix)
-	l.Output = d.words()
-	npoints := d.count(1)
-	if d.err == nil && npoints > 0 {
-		l.Points = make([]Point, npoints)
+	if len(sections) != 2 {
+		return nil, fmt.Errorf("%w: %d sections, want 2", ErrCorrupt, len(sections))
 	}
-	for i := 0; i < npoints && d.err == nil; i++ {
-		pt := &l.Points[i]
-		d.state(&pt.State)
-		pt.OutLen = int(d.u32())
-		d.stats(&pt.Prefix)
-		npages := d.count(8)
-		if d.err == nil && npages > 0 {
-			pt.Pages = make([]Page, npages)
-		}
-		for j := 0; j < npages && d.err == nil; j++ {
-			pt.Pages[j].Index = d.u32()
-			pt.Pages[j].Words = d.words()
-		}
+	if got := string(sections[0]); got != fingerprint {
+		return nil, fmt.Errorf("%w: fingerprint %q, want %q", ErrStale, got, fingerprint)
 	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.pos != len(body) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-d.pos)
-	}
-	return l, nil
+	return decodeBody(sections[1])
 }

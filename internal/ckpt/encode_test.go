@@ -3,11 +3,11 @@ package ckpt
 import (
 	"bytes"
 	"errors"
-	"hash/crc32"
 	"reflect"
 	"testing"
 
 	"repro/internal/dbt"
+	"repro/internal/frame"
 
 	"repro/internal/check"
 )
@@ -108,14 +108,11 @@ func TestDecodeRejectsStaleFingerprint(t *testing.T) {
 }
 
 // Interior extra bytes with a valid checksum must still be rejected (the
-// decoder demands the payload end exactly where the fields do).
+// decoder demands the body section end exactly where the fields do).
 func TestDecodeRejectsTrailingPayload(t *testing.T) {
 	l := recordedLogs(t)["static"]
-	raw := encode(t, l)
-	body := append(append([]byte{}, raw[:len(raw)-4]...), 0, 0, 0, 0)
-	e := &logEncoder{buf: body}
-	e.u32(crc32.ChecksumIEEE(body))
-	if _, err := DecodeLog(bytes.NewReader(e.buf), testFingerprint); !errors.Is(err, ErrCorrupt) {
+	padded := frame.Seal(logMagic, []byte(testFingerprint), append(l.encodeBody(), 0, 0, 0, 0))
+	if _, err := DecodeLog(bytes.NewReader(padded), testFingerprint); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("error %v, want ErrCorrupt", err)
 	}
 }

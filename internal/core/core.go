@@ -173,7 +173,7 @@ func InjectCtx(ctx context.Context, p *isa.Program, c Config, samples int, seed 
 		Technique: tech, Policy: pol, Samples: samples, Seed: seed,
 		Options: c.Options,
 	}
-	return icfg.Run(ctx, p)
+	return inject.Execute(ctx, p, icfg)
 }
 
 // VerifyScheme model-checks a technique's signature algebra against the

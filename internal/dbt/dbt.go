@@ -200,8 +200,11 @@ type DBT struct {
 	stats Stats
 }
 
-// New prepares a translator for program p.
-func New(p *isa.Program, opts Options) *DBT {
+// normalizeOptions fills the zero-value defaults New documents: technique
+// None, the default trace threshold and the default cost model. Restoring
+// a snapshot from a portable image applies the same normalization so a
+// restored translator behaves exactly like a locally-built one.
+func normalizeOptions(opts Options) Options {
 	if opts.Technique == nil {
 		opts.Technique = None{}
 	}
@@ -211,6 +214,12 @@ func New(p *isa.Program, opts Options) *DBT {
 	if opts.Costs == nil {
 		opts.Costs = cpu.DefaultCosts()
 	}
+	return opts
+}
+
+// New prepares a translator for program p.
+func New(p *isa.Program, opts Options) *DBT {
+	opts = normalizeOptions(opts)
 	d := &DBT{
 		prog:   p,
 		opts:   opts,

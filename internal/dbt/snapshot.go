@@ -102,12 +102,18 @@ func (d *DBT) Snapshot() *Snapshot {
 // targets. Freezing over this set means a warm campaign's samples never
 // fall back to the interpreter on a hot path.
 func (d *DBT) compStarts() []uint32 {
-	starts := make([]uint32, 0, len(d.tlist)+len(d.cache)/4)
-	for _, tb := range d.tlist {
+	return compStartsFor(d.tlist, d.cache)
+}
+
+// compStartsFor is compStarts over explicit state, shared with snapshot
+// restoration (which freezes a fresh engine over a deserialized cache).
+func compStartsFor(tlist []*TBlock, cache []isa.Instr) []uint32 {
+	starts := make([]uint32, 0, len(tlist)+len(cache)/4)
+	for _, tb := range tlist {
 		starts = append(starts, tb.CacheStart)
 	}
-	for addr, in := range d.cache {
-		if in.Op.IsTerminator() && addr+1 < len(d.cache) {
+	for addr, in := range cache {
+		if in.Op.IsTerminator() && addr+1 < len(cache) {
 			starts = append(starts, uint32(addr+1))
 		}
 		if in.Op.IsDirectBranch() {

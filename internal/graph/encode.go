@@ -1,16 +1,18 @@
 package graph
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 
-	"repro/internal/fp"
+	"repro/internal/frame"
 )
 
 // cellMagic identifies the on-disk cell-entry format; the trailing digit
 // is the envelope version (see the package documentation for the layout).
+// The envelope itself — magic, framed fingerprint, framed JSON payload,
+// CRC-32 trailer — is the shared frame.Seal layout, so the bytes are
+// unchanged from the pre-frame encoder.
 const cellMagic = "CFCGRPH1"
 
 // errCorruptEntry marks an entry whose bytes cannot be decoded: bad
@@ -21,9 +23,9 @@ var errCorruptEntry = errors.New("graph: corrupt cell entry")
 // a different fingerprint (program bytes, configuration or version).
 var errStaleEntry = errors.New("graph: stale cell entry")
 
-// encodeEntry serializes an entry under the given fingerprint:
-// magic, length-framed fingerprint, length-framed JSON payload, CRC-32
-// trailer over everything before it.
+// encodeEntry serializes an entry under the given fingerprint: the
+// fingerprint and the JSON payload as the two framed sections of a
+// cellMagic envelope.
 func encodeEntry(e *Entry, fingerprint string) []byte {
 	payload, err := json.Marshal(e)
 	if err != nil {
@@ -31,13 +33,7 @@ func encodeEntry(e *Entry, fingerprint string) []byte {
 		// the signature infallible and make any future regression loud.
 		panic(fmt.Sprintf("graph: encode entry: %v", err))
 	}
-	buf := make([]byte, 0, len(cellMagic)+8+len(fingerprint)+len(payload)+4)
-	buf = append(buf, cellMagic...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fingerprint)))
-	buf = append(buf, fingerprint...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = append(buf, payload...)
-	return binary.LittleEndian.AppendUint32(buf, fp.Checksum(buf))
+	return frame.Seal(cellMagic, []byte(fingerprint), payload)
 }
 
 // decodeEntry reads an entry written by encodeEntry, verifying the magic,
@@ -46,46 +42,18 @@ func encodeEntry(e *Entry, fingerprint string) []byte {
 // bytes decode but carry a different fingerprint; callers recompute and
 // rewrite on either.
 func decodeEntry(buf []byte, fingerprint string) (*Entry, error) {
-	if len(buf) < len(cellMagic)+12 {
-		return nil, fmt.Errorf("%w: %d bytes", errCorruptEntry, len(buf))
-	}
-	if string(buf[:len(cellMagic)]) != cellMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", errCorruptEntry, buf[:len(cellMagic)])
-	}
-	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
-	if got, want := fp.Checksum(body), binary.LittleEndian.Uint32(tail); got != want {
-		return nil, fmt.Errorf("%w: checksum %08x, file says %08x", errCorruptEntry, got, want)
-	}
-	pos := len(cellMagic)
-	frame := func() ([]byte, error) {
-		if pos+4 > len(body) {
-			return nil, fmt.Errorf("%w: truncated at byte %d", errCorruptEntry, pos)
-		}
-		n := int(binary.LittleEndian.Uint32(body[pos:]))
-		pos += 4
-		if n < 0 || pos+n > len(body) {
-			return nil, fmt.Errorf("%w: frame of %d bytes at byte %d", errCorruptEntry, n, pos)
-		}
-		b := body[pos : pos+n]
-		pos += n
-		return b, nil
-	}
-	fpBytes, err := frame()
+	sections, err := frame.Open(cellMagic, buf)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", errCorruptEntry, err)
 	}
-	payload, err := frame()
-	if err != nil {
-		return nil, err
+	if len(sections) != 2 {
+		return nil, fmt.Errorf("%w: %d sections, want 2", errCorruptEntry, len(sections))
 	}
-	if pos != len(body) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", errCorruptEntry, len(body)-pos)
-	}
-	if string(fpBytes) != fingerprint {
-		return nil, fmt.Errorf("%w: fingerprint %q, want %q", errStaleEntry, fpBytes, fingerprint)
+	if string(sections[0]) != fingerprint {
+		return nil, fmt.Errorf("%w: fingerprint %q, want %q", errStaleEntry, sections[0], fingerprint)
 	}
 	e := &Entry{}
-	if err := json.Unmarshal(payload, e); err != nil {
+	if err := json.Unmarshal(sections[1], e); err != nil {
 		return nil, fmt.Errorf("%w: payload: %v", errCorruptEntry, err)
 	}
 	if e.Report == nil {

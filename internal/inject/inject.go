@@ -372,44 +372,26 @@ func Warm(p *isa.Program, cfg Config) (*dbt.Snapshot, *dbt.Result, error) {
 }
 
 // Campaign injects cfg.Samples random single faults into executions of p
-// under the translator and classifies every outcome. It is Run with a
-// background context — the pre-batch-API surface, kept one release for
-// compatibility; new code calls Config.Run.
+// under the translator and classifies every outcome. It is Execute with a
+// background context — the pre-batch-API surface, kept for compatibility;
+// new code calls Execute.
 func Campaign(p *isa.Program, cfg Config) (*Report, error) {
-	return cfg.Run(context.Background(), p)
+	return Execute(context.Background(), p, cfg)
 }
 
-// Run warms the translator and executes the campaign, honoring ctx:
-// cancellation stops scheduling new samples (a sample already executing
-// finishes its bounded chunk first) and returns ctx.Err().
-//
-// The translator is warmed once (until a clean run leaves the cache fully
-// settled), snapshotted, and every sample then runs on a private clone of
-// the snapshot: a faulty run's cache mutations (chaining, wild-target
-// translations) never leak into other samples. Combined with per-index
-// fault derivation this makes the classified results a pure function of
-// (program, cfg minus Workers and CkptInterval) — Workers and the
-// checkpoint engine only change the wall-clock.
+// Run warms the translator and executes the campaign, honoring ctx for
+// cancellation. It is Execute with no options — a compatibility wrapper;
+// new code calls Execute.
 func (cfg Config) Run(ctx context.Context, p *isa.Program) (*Report, error) {
-	cfg.applyDefaults()
-	warm := phaseSpan(cfg.Metrics, techName(cfg.Technique), "warm")
-	snap, clean, err := Warm(p, cfg)
-	warm.End()
-	if err != nil {
-		return nil, err
-	}
-	return cfg.runWarm(ctx, p, snap, clean.Steps, nil)
+	return Execute(ctx, p, cfg)
 }
 
 // RunWarm executes the campaign against a pre-built warm snapshot and,
-// optionally, a pre-recorded checkpoint log of its clean reference run
-// (nil records one when the checkpoint engine is selected). The session
-// registry uses it to amortize warm-up and recording across campaigns:
-// because Warm and recording are deterministic, the report is
-// byte-identical to a cold Run with the same configuration.
+// optionally, a pre-recorded checkpoint log of its clean reference run.
+// It is Execute with WithSnapshot and WithRecording — a compatibility
+// wrapper; new code calls Execute.
 func (cfg Config) RunWarm(ctx context.Context, p *isa.Program, snap *dbt.Snapshot, cleanSteps uint64, log *ckpt.Log) (*Report, error) {
-	cfg.applyDefaults()
-	return cfg.runWarm(ctx, p, snap, cleanSteps, log)
+	return Execute(ctx, p, cfg, WithSnapshot(snap, cleanSteps), WithRecording(log))
 }
 
 // techName renders the technique label used by metric series and spans.

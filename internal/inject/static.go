@@ -79,34 +79,42 @@ func (se *staticExec) stats(v *comp.Engine) comp.Stats {
 }
 
 // StaticCampaign injects single faults into a program executed directly on
-// the machine (no translator). It is RunStatic with a background context —
-// the pre-batch-API surface, kept one release for compatibility; new code
-// calls Config.RunStatic.
+// the machine (no translator). It is Execute with AsStatic and a
+// background context — the pre-batch-API surface, kept for compatibility;
+// new code calls Execute.
 func StaticCampaign(p *isa.Program, label string, cfgn Config) (*Report, error) {
-	return cfgn.RunStatic(context.Background(), p, label)
+	return Execute(context.Background(), p, cfgn, AsStatic(label))
 }
 
 // RunStatic injects single faults into a program executed directly on the
-// machine (no translator) — used for the statically instrumented
-// CFCSS/ECCA baselines and for unprotected native runs. Faulty branch
-// targets are classified against the program's own CFG. Cancellation stops
-// scheduling new samples and returns ctx.Err().
-//
-// Like Run, samples shard across cfgn.Workers goroutines with per-index
-// fault derivation, so the classified results are bit-identical for every
-// worker count. Native runs share nothing mutable — each sample gets its
-// own machine; the CFG is read-only after Build.
+// machine (no translator). It is Execute with AsStatic — a compatibility
+// wrapper; new code calls Execute.
 func (cfgn Config) RunStatic(ctx context.Context, p *isa.Program, label string) (*Report, error) {
-	return cfgn.RunStaticWarm(ctx, p, label, nil)
+	return Execute(ctx, p, cfgn, AsStatic(label))
 }
 
-// RunStaticWarm is RunStatic with an optional pre-recorded checkpoint log
-// of the native clean reference run (nil records one when the checkpoint
-// engine is selected; the log is ignored otherwise). Native execution is
-// deterministic, so a cached log's finals are the clean run and the
-// reference execution is skipped entirely on a hit.
+// RunStaticWarm is RunStatic with an optional pre-recorded checkpoint log.
+// It is Execute with AsStatic and WithRecording — a compatibility wrapper;
+// new code calls Execute.
 func (cfgn Config) RunStaticWarm(ctx context.Context, p *isa.Program, label string, log *ckpt.Log) (*Report, error) {
-	cfgn.applyDefaults()
+	return Execute(ctx, p, cfgn, AsStatic(label), WithRecording(log))
+}
+
+// runStaticWarm injects single faults into a program executed directly on
+// the machine (no translator) — the statically instrumented CFCSS/ECCA
+// baselines and unprotected native runs. Faulty branch targets are
+// classified against the program's own CFG. An optional pre-recorded
+// checkpoint log of the native clean reference run skips the reference
+// execution entirely (native execution is deterministic, so a cached
+// log's finals are the clean run); nil records one when the checkpoint
+// engine is selected, and the log is ignored otherwise.
+//
+// Like the translated pipeline, samples shard across cfgn.Workers
+// goroutines with per-index fault derivation, so the classified results
+// are bit-identical for every worker count. Native runs share nothing
+// mutable — each sample gets its own machine; the CFG is read-only after
+// Build. The caller (Execute) has applied the config defaults.
+func (cfgn Config) runStaticWarm(ctx context.Context, p *isa.Program, label string, log *ckpt.Log) (*Report, error) {
 	g := cfg.Build(p)
 
 	var want []int32

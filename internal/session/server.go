@@ -28,9 +28,9 @@ type Server struct {
 	// Metrics backs the /metrics endpoint and is handed to every campaign;
 	// nil disables both.
 	Metrics *obs.Registry
-	// MaxSamples rejects requests asking for absurd campaign sizes
-	// (0 = DefaultMaxSamples).
-	MaxSamples int
+	// Limits bounds what one request may ask for (zero value = defaults);
+	// extra routes mounted via Handler validate against the same instance.
+	Limits Limits
 
 	// Batch progress tracking: every POST /v1/campaigns registers a
 	// batchProgress under a server-assigned id (echoed in the Campaign-Id
@@ -76,9 +76,6 @@ func (s *Server) registerBatch(campaigns int) *batchProgress {
 	}
 	return bp
 }
-
-// DefaultMaxSamples bounds per-campaign sample counts accepted over HTTP.
-const DefaultMaxSamples = 1_000_000
 
 // Request is the POST /v1/campaigns body: one session key and the
 // campaigns to run on it.
@@ -144,7 +141,12 @@ type RecordJSON struct {
 //	GET  /v1/version                  build and environment info
 //	GET  /metrics                     Prometheus text exposition
 //	GET  /healthz                     liveness probe
-func (s *Server) Handler() http.Handler {
+//
+// extra routes mount on the same mux, behind the same server instance —
+// the one place every served surface registers, so request bounds
+// (Limits), the error shape (WriteError) and batch tracking (TrackBatch)
+// are shared rather than duplicated per handler.
+func (s *Server) Handler(extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
 	mux.HandleFunc("GET /v1/campaigns/{id}/progress", s.handleProgress)
@@ -155,6 +157,9 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	return mux
 }
 
@@ -190,7 +195,7 @@ func (s *Server) handleProgress(w http.ResponseWriter, req *http.Request) {
 	bp := s.batches[id]
 	s.mu.Unlock()
 	if bp == nil {
-		http.Error(w, "unknown campaign id "+id, http.StatusNotFound)
+		WriteError(w, http.StatusNotFound, "unknown campaign id %s", id)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -236,25 +241,28 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 	dec := json.NewDecoder(req.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&body); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		WriteError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	maxSamples := s.MaxSamples
-	if maxSamples <= 0 {
-		maxSamples = DefaultMaxSamples
-	}
 	if body.Workload == "" {
-		http.Error(w, "bad request: workload required", http.StatusBadRequest)
+		WriteError(w, http.StatusBadRequest, "bad request: workload required")
 		return
 	}
 	if len(body.Campaigns) == 0 {
-		http.Error(w, "bad request: at least one campaign required", http.StatusBadRequest)
+		WriteError(w, http.StatusBadRequest, "bad request: at least one campaign required")
+		return
+	}
+	if err := s.Limits.CheckScale(body.Scale); err != nil {
+		WriteError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if err := s.Limits.CheckWorkers(body.Workers); err != nil {
+		WriteError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
 	for _, c := range body.Campaigns {
-		if c.Samples < 0 || c.Samples > maxSamples {
-			http.Error(w, fmt.Sprintf("bad request: samples %d out of range [0, %d]", c.Samples, maxSamples),
-				http.StatusBadRequest)
+		if err := s.Limits.CheckSamples(c.Samples); err != nil {
+			WriteError(w, http.StatusBadRequest, "bad request: %v", err)
 			return
 		}
 	}
@@ -271,7 +279,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 	// where a graph-cache hit must not pay a session build — but a bad
 	// request still deserves a plain status before the stream commits.
 	if err := s.Registry.Validate(k); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -395,7 +403,7 @@ func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.Metrics == nil {
-		http.Error(w, "metrics disabled", http.StatusNotFound)
+		WriteError(w, http.StatusNotFound, "metrics disabled")
 		return
 	}
 	// Process-health gauges refresh at scrape time only, so they never

@@ -161,7 +161,7 @@ func TestBatchMatchesCLIByteForByte(t *testing.T) {
 // campaign runs.
 func TestCampaignValidation(t *testing.T) {
 	reg := obs.NewRegistry()
-	srv := &Server{Registry: NewRegistry(Config{Metrics: reg}), Metrics: reg, MaxSamples: 100}
+	srv := &Server{Registry: NewRegistry(Config{Metrics: reg}), Metrics: reg, Limits: Limits{MaxSamples: 100}}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

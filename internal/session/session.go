@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/artifact"
 	"repro/internal/check"
 	"repro/internal/ckpt"
 	"repro/internal/core"
@@ -124,10 +125,12 @@ func (s *Session) Run(ctx context.Context, spec Spec, opts core.Options) (*injec
 	var err error
 	if s.static {
 		cfg.Policy = s.pol
-		rep, err = cfg.RunStaticWarm(ctx, s.prog, s.label, s.log)
+		rep, err = inject.Execute(ctx, s.prog, cfg,
+			inject.AsStatic(s.label), inject.WithRecording(s.log))
 	} else {
 		cfg.Technique, cfg.Policy = s.tech, s.pol
-		rep, err = cfg.RunWarm(ctx, s.prog, s.snap, s.cleanSteps, s.log)
+		rep, err = inject.Execute(ctx, s.prog, cfg,
+			inject.WithSnapshot(s.snap, s.cleanSteps), inject.WithRecording(s.log))
 	}
 	if err == nil {
 		s.mu.Lock()
@@ -156,6 +159,13 @@ type Config struct {
 	// RunCell consults it before building a session, so a hit skips the
 	// warm/record/inject pipeline entirely (see internal/graph).
 	Graph *graph.Cache
+	// Artifacts, when non-nil, is the warm-artifact tier: before building a
+	// session locally the registry tries to fetch a published artifact
+	// (snapshot + reference log) for the exact fingerprint, and after a
+	// local build it publishes one back, so a cold replica pointed at a
+	// warm store performs zero recordings and zero translations. Every
+	// verification failure degrades to a local build (see internal/artifact).
+	Artifacts *artifact.Client
 }
 
 // Registry builds sessions on demand, deduplicates concurrent builds of
@@ -446,6 +456,10 @@ func (r *Registry) build(ctx context.Context, k Key) (*Session, error) {
 		if s.prog, err = check.InstrumentStatic(base, kind); err != nil {
 			return nil, err
 		}
+		afp := r.artifactFingerprint(s, base)
+		if r.restoreSession(s, afp, base) {
+			return s, nil
+		}
 		m := cpu.New()
 		m.Reset(s.prog)
 		plan := cpu.NewPlan(s.prog.Code, nil)
@@ -463,6 +477,8 @@ func (r *Registry) build(ctx context.Context, k Key) (*Session, error) {
 				return nil, err
 			}
 		}
+		r.count("session_warm_builds_total")
+		r.publishArtifact(s, afp, base)
 		return s, nil
 	}
 
@@ -478,6 +494,10 @@ func (r *Registry) build(ctx context.Context, k Key) (*Session, error) {
 		s.label = s.tech.Name()
 	}
 	s.prog = base
+	afp := r.artifactFingerprint(s, base)
+	if r.restoreSession(s, afp, base) {
+		return s, nil
+	}
 	wcfg := inject.Config{Technique: s.tech, Policy: pol, MaxSteps: r.cfg.MaxSteps}
 	snap, clean, err := inject.Warm(base, wcfg)
 	if err != nil {
@@ -494,7 +514,83 @@ func (r *Registry) build(ctx context.Context, k Key) (*Session, error) {
 			return nil, err
 		}
 	}
+	r.count("session_warm_builds_total")
+	r.publishArtifact(s, afp, base)
 	return s, nil
+}
+
+// artifactFingerprint derives the warm-artifact identity for the session
+// under construction: the session key plus everything that shapes the
+// warm state but is not in the key (program content, step budget, engine
+// and technique versions). "" disables the tier for this build.
+func (r *Registry) artifactFingerprint(s *Session, base *isa.Program) string {
+	if r.cfg.Artifacts == nil {
+		return ""
+	}
+	return artifact.Fingerprint(s.Key.String(), s.label, fp.Program(base), r.cfg.MaxSteps)
+}
+
+// restoreSession hydrates s from a fetched warm artifact. It reports true
+// only when every piece the session needs restored cleanly — any
+// shortfall (no artifact, backend mismatch, missing log, inconsistent
+// snapshot) reports false and the caller builds locally, so a bad
+// artifact can never poison the registry. A restored session performs
+// zero reference recordings and zero block translations; its campaigns
+// are byte-identical to a locally built session's.
+func (r *Registry) restoreSession(s *Session, afp string, base *isa.Program) bool {
+	if afp == "" {
+		return false
+	}
+	a := r.cfg.Artifacts.Fetch(afp)
+	if a == nil {
+		return false
+	}
+	if a.Static != s.static || a.CleanSteps == 0 {
+		return false
+	}
+	if s.Key.CkptInterval != 0 && (a.Log == nil || !a.Log.Complete()) {
+		return false
+	}
+	if !s.static {
+		// Zero Backend mirrors the wcfg the local build would have used, so
+		// the restored snapshot executes on the same engine tier.
+		snap, err := dbt.RestoreSnapshot(base, dbt.Options{Technique: s.tech, Policy: s.pol}, a.Snapshot)
+		if err != nil {
+			return false
+		}
+		s.snap = snap
+	}
+	s.cleanSteps = a.CleanSteps
+	if s.Key.CkptInterval != 0 {
+		s.log = a.Log
+	}
+	r.count("session_restores_total")
+	return true
+}
+
+// publishArtifact ships the locally built session to the artifact tier,
+// best effort: an unexportable snapshot or a store failure degrades to
+// not publishing, never to a build error.
+func (r *Registry) publishArtifact(s *Session, afp string, base *isa.Program) {
+	if afp == "" {
+		return
+	}
+	a := &artifact.Artifact{
+		Key:         s.Key.String(),
+		ProgramHash: fp.Program(base),
+		MaxSteps:    r.cfg.MaxSteps,
+		CleanSteps:  s.cleanSteps,
+		Static:      s.static,
+		Log:         s.log,
+	}
+	if s.snap != nil {
+		st, err := s.snap.State()
+		if err != nil {
+			return
+		}
+		a.Snapshot = st
+	}
+	r.cfg.Artifacts.Publish(a, afp)
 }
 
 // referenceLog produces the session's checkpoint log: a disk hit when the
