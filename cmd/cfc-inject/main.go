@@ -84,7 +84,7 @@ func main() {
 
 	p, err := core.Workload(*workload, *scale)
 	fatalIf(err)
-	cfg := core.Config{Technique: *tech, Style: *style, Policy: *policy}
+	cfg := core.Config{Technique: *tech, Style: *style, Policy: *policy, SampleOffset: app.SampleOffset}
 	cfg.CkptInterval = app.CkptInterval
 
 	if *jsonOut != "" {
@@ -105,7 +105,7 @@ func main() {
 		// The benchmark modes above re-run for wall-clock and bypass the
 		// cache by design; the report itself is a cell.
 		key := graph.KeyFor(p, *tech, *style, *policy, *samples, *seed,
-			cfg.CkptInterval, cfg.Backend, 0)
+			cfg.SampleOffset, cfg.CkptInterval, cfg.Backend, 0)
 		var cached bool
 		rep, cached, err = g.Run(key, app.Registry(), func(m *obs.Registry) (*inject.Report, error) {
 			c := cfg
@@ -131,10 +131,11 @@ func main() {
 // the summary fields the batch server streams, so CI can diff a CLI run
 // against a served campaign field for field.
 type reportRecord struct {
-	Workload  string `json:"workload"`
-	Technique string `json:"technique"`
-	Samples   int    `json:"samples"`
-	NotFired  int    `json:"not_fired"`
+	Workload     string `json:"workload"`
+	Technique    string `json:"technique"`
+	Samples      int    `json:"samples"`
+	SampleOffset int    `json:"sample_offset,omitempty"`
+	NotFired     int    `json:"not_fired"`
 	// Engine telemetry: samples whose tails executed vs were synthesized
 	// (offset not-taken vs liveness-pruned families). Mirrors the batch
 	// server's NDJSON fields; excluded from the normalized Report.
@@ -148,10 +149,11 @@ type reportRecord struct {
 
 func writeReportJSON(path string, rep *inject.Report) error {
 	out, err := json.MarshalIndent(reportRecord{
-		Workload:    rep.Program,
-		Technique:   rep.Technique,
-		Samples:     rep.Samples,
-		NotFired:    rep.NotFired,
+		Workload:     rep.Program,
+		Technique:    rep.Technique,
+		Samples:      rep.Samples,
+		SampleOffset: rep.SampleOffset,
+		NotFired:     rep.NotFired,
 		Executed:    rep.Executed,
 		ShortOffset: rep.ShortOffset,
 		ShortLive:   rep.ShortLive,

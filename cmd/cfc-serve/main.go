@@ -14,8 +14,10 @@
 //	                     registry → NDJSON rows, tables and span timings
 //	GET  /v1/sessions    warm-session inventory
 //	GET  /v1/version     build and configuration info
+//	GET  /v1/metrics     metrics snapshot as JSON (what cfc-front merges)
 //	GET  /metrics        Prometheus text exposition (incl. Go runtime gauges)
-//	GET  /healthz        liveness
+//	GET  /healthz        readiness: {"status":"ok|draining|restoring"}, 503 while
+//	                     draining so front doors and probes eject the replica
 //
 // -debug-addr serves net/http/pprof on a second loopback listener.
 //
@@ -187,6 +189,13 @@ func main() {
 			<-second.Done()
 			cancelRuns()
 		}()
+		// Drain in three steps: refuse new work with a JSON 503 while the
+		// listener still accepts (so clients and the front door see a clean
+		// fast-fail, never connection-refused, and /healthz flips to
+		// draining), wait for admitted campaigns to finish, then close the
+		// listener itself.
+		srv.StartDrain()
+		srv.DrainWait()
 		if err := hs.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "cfc-serve: shutdown:", err)
 		}

@@ -45,6 +45,14 @@ func (r BenchRequest) validate(limits session.Limits) error {
 // GET /v1/campaigns/{id}/progress like any campaign batch.
 func Handler(srv *session.Server) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A bench run is work-carrying like a campaign batch, so it obeys
+		// the same drain gate: fail fast with the JSON 503 once the server
+		// starts draining.
+		release, ok := srv.Begin(w)
+		if !ok {
+			return
+		}
+		defer release()
 		var req BenchRequest
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()

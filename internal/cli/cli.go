@@ -35,6 +35,11 @@ type App struct {
 	// CkptInterval is the parsed -ckpt-interval value (0 full replay,
 	// -1 auto-sized checkpoints, >0 explicit step interval).
 	CkptInterval int64
+	// SampleOffset is the parsed -sample-offset value: the campaign's
+	// first global sample index, for manual sharding (shard k of a split
+	// campaign derives the same per-sample faults it would have in the
+	// unsharded run; inject.MergeReports reassembles the shards).
+	SampleOffset int
 	// CPUProfile / MemProfile are the parsed pprof output paths; empty
 	// disables the respective profile.
 	CPUProfile string
@@ -77,6 +82,8 @@ func (a *App) BindFlags(fs *flag.FlagSet) {
 	fs.IntVar(&a.Workers, "workers", a.Workers, "worker goroutines (0 = GOMAXPROCS)")
 	fs.Int64Var(&a.CkptInterval, "ckpt-interval", a.CkptInterval,
 		"checkpoint interval in steps (-1 auto, 0 full replay)")
+	fs.IntVar(&a.SampleOffset, "sample-offset", a.SampleOffset,
+		"first global sample index of this campaign shard (manual fan-out; merge shards with matching seeds)")
 	fs.StringVar(&a.CPUProfile, "cpuprofile", a.CPUProfile, "write a pprof CPU profile to `file`")
 	fs.StringVar(&a.MemProfile, "memprofile", a.MemProfile, "write a pprof heap profile to `file` on exit")
 	if a.Backend == "" {

@@ -37,6 +37,10 @@ type Config struct {
 	Style string
 	// Policy: "ALLBB" (default), "RET-BE", "RET" or "END".
 	Policy string
+	// SampleOffset shifts injection campaigns onto the global sample range
+	// [SampleOffset, SampleOffset+samples) — one shard of a split campaign
+	// (see inject.Config.SampleOffset).
+	SampleOffset int
 	// Options is the shared execution surface (Trace, Metrics, Workers,
 	// CkptInterval), promoted so existing selector access keeps working.
 	Options
@@ -171,7 +175,8 @@ func InjectCtx(ctx context.Context, p *isa.Program, c Config, samples int, seed 
 	}
 	icfg := inject.Config{
 		Technique: tech, Policy: pol, Samples: samples, Seed: seed,
-		Options: c.Options,
+		SampleOffset: c.SampleOffset,
+		Options:      c.Options,
 	}
 	return inject.Execute(ctx, p, icfg)
 }

@@ -1,0 +1,291 @@
+package front
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission control defaults.
+const (
+	// DefaultQueueDepth bounds how many requests one tenant may have
+	// queued (per tenant, across replicas) before new ones get a 429.
+	DefaultQueueDepth = 32
+	// DefaultReplicaCap bounds concurrently proxied requests per replica.
+	DefaultReplicaCap = 4
+)
+
+// ErrQueueFull rejects an Acquire whose tenant queue is at its bound;
+// the front answers it with 429 and a Retry-After hint.
+var ErrQueueFull = errors.New("admission queue full")
+
+// ErrReplicaGone fails queued waiters whose target replica left the
+// ready set; the front answers it with a JSON 503, never a hung stream.
+var ErrReplicaGone = errors.New("replica left the ready set")
+
+// Admission is the front door's admission controller: per-tenant
+// weighted-fair queues with bounded depth feeding per-replica in-flight
+// caps. Scheduling is stride-based: each admitted request advances its
+// tenant's pass by 1/weight, and a freed slot goes to the queued tenant
+// with the lowest pass — so over time tenant throughput is proportional
+// to weight, regardless of arrival order or queue length.
+type Admission struct {
+	mu       sync.Mutex
+	depth    int
+	cap      int
+	weights  map[string]float64
+	pass     map[string]float64
+	queues   map[string][]*waiter // per-tenant FIFO
+	inflight map[string]int       // per-replica admitted count
+}
+
+// waiter is one queued request. ready is closed exactly once, after
+// setting err for a failure grant; cancelled waiters are skipped (and
+// compacted) by the dispatcher.
+type waiter struct {
+	tenant    string
+	replica   string
+	ready     chan struct{}
+	err       error
+	cancelled bool
+}
+
+// NewAdmission returns a controller with the given per-tenant queue
+// depth and per-replica in-flight cap (0 = the defaults).
+func NewAdmission(depth, replicaCap int) *Admission {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	if replicaCap <= 0 {
+		replicaCap = DefaultReplicaCap
+	}
+	return &Admission{
+		depth:    depth,
+		cap:      replicaCap,
+		weights:  map[string]float64{},
+		pass:     map[string]float64{},
+		queues:   map[string][]*waiter{},
+		inflight: map[string]int{},
+	}
+}
+
+// SetWeight sets a tenant's fair-share weight (default 1). A tenant
+// with weight 3 drains its queue three times as fast as a weight-1
+// tenant contending for the same replica.
+func (a *Admission) SetWeight(tenant string, w float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w > 0 {
+		a.weights[tenant] = w
+	}
+}
+
+func (a *Admission) weightLocked(tenant string) float64 {
+	if w, ok := a.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// Inflight returns the replica's currently admitted request count.
+func (a *Admission) Inflight(replica string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight[replica]
+}
+
+// Queued returns the tenant's live queue length.
+func (a *Admission) Queued(tenant string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, w := range a.queues[tenant] {
+		if !w.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Acquire admits one request for tenant against replica, blocking in
+// the tenant's fair queue while the replica is at its in-flight cap.
+// On success the caller must call the returned release exactly once
+// (extra calls are no-ops). Fails with ErrQueueFull when the tenant
+// queue is at depth, ErrReplicaGone when the replica is ejected while
+// queued, or ctx.Err() on cancellation.
+func (a *Admission) Acquire(ctx context.Context, tenant, replica string) (release func(), err error) {
+	a.mu.Lock()
+	// Jumping the queue would starve waiters, so immediate admission
+	// requires both a free slot and an empty line for this replica.
+	if a.inflight[replica] < a.cap && !a.hasWaiterLocked(replica) {
+		a.inflight[replica]++
+		a.advancePassLocked(tenant)
+		a.mu.Unlock()
+		return a.releaseFunc(replica), nil
+	}
+	if n := a.queuedLocked(tenant); n >= a.depth {
+		a.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{tenant: tenant, replica: replica, ready: make(chan struct{})}
+	a.queues[tenant] = append(a.queues[tenant], w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		if w.err != nil {
+			return nil, w.err
+		}
+		return a.releaseFunc(replica), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted while we were cancelling: give the slot straight
+			// back so it redispatches, then still report the cancel.
+			a.mu.Unlock()
+			if w.err == nil {
+				a.releaseFunc(replica)()
+			}
+		default:
+			w.cancelled = true
+			a.mu.Unlock()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the idempotent slot release for a granted
+// replica: decrement, then hand the freed slot to the fairest waiter.
+func (a *Admission) releaseFunc(replica string) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inflight[replica]--
+			a.dispatchLocked(replica)
+			a.mu.Unlock()
+		})
+	}
+}
+
+// FailReplica fails every waiter queued for a replica that left the
+// ready set, so their streams error fast instead of hanging until
+// client timeout. In-flight requests are unaffected (their proxied
+// connections surface their own errors).
+func (a *Admission) FailReplica(replica string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for tenant, q := range a.queues {
+		kept := q[:0]
+		for _, w := range q {
+			if !w.cancelled && w.replica == replica {
+				w.err = ErrReplicaGone
+				close(w.ready)
+				continue
+			}
+			kept = append(kept, w)
+		}
+		a.queues[tenant] = kept
+	}
+}
+
+func (a *Admission) queuedLocked(tenant string) int {
+	n := 0
+	for _, w := range a.queues[tenant] {
+		if !w.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *Admission) hasWaiterLocked(replica string) bool {
+	for _, q := range a.queues {
+		for _, w := range q {
+			if !w.cancelled && w.replica == replica {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// advancePassLocked charges one admission to the tenant's stride pass.
+// New or idle tenants start at the current minimum so a fresh tenant
+// cannot monopolize slots by arriving with pass 0.
+func (a *Admission) advancePassLocked(tenant string) {
+	if _, ok := a.pass[tenant]; !ok {
+		min := 0.0
+		first := true
+		for _, p := range a.pass {
+			if first || p < min {
+				min, first = p, false
+			}
+		}
+		a.pass[tenant] = min
+	}
+	a.pass[tenant] += 1 / a.weightLocked(tenant)
+}
+
+// dispatchLocked grants freed slots on replica to queued waiters,
+// fairest tenant first, until the cap is reached or the line is empty.
+func (a *Admission) dispatchLocked(replica string) {
+	for a.inflight[replica] < a.cap {
+		var best string
+		found := false
+		for tenant, q := range a.queues {
+			// Compact cancelled waiters at the head while we scan.
+			i := 0
+			for i < len(q) && q[i].cancelled {
+				i++
+			}
+			if i > 0 {
+				q = q[i:]
+				a.queues[tenant] = q
+			}
+			hasTarget := false
+			for _, w := range q {
+				if !w.cancelled && w.replica == replica {
+					hasTarget = true
+					break
+				}
+			}
+			if !hasTarget {
+				if len(q) == 0 {
+					delete(a.queues, tenant)
+				}
+				continue
+			}
+			if !found || a.passLocked(tenant) < a.passLocked(best) ||
+				(a.passLocked(tenant) == a.passLocked(best) && tenant < best) {
+				best, found = tenant, true
+			}
+		}
+		if !found {
+			return
+		}
+		q := a.queues[best]
+		granted := false
+		for i, w := range q {
+			if !w.cancelled && w.replica == replica {
+				a.queues[best] = append(append([]*waiter{}, q[:i]...), q[i+1:]...)
+				a.inflight[replica]++
+				a.advancePassLocked(best)
+				close(w.ready)
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			return
+		}
+	}
+}
+
+func (a *Admission) passLocked(tenant string) float64 {
+	if p, ok := a.pass[tenant]; ok {
+		return p
+	}
+	return 0
+}

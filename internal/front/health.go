@@ -1,0 +1,153 @@
+package front
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/session"
+)
+
+// ReplicaHealth is one replica's last observed health.
+type ReplicaHealth struct {
+	URL   string `json:"url"`
+	Ready bool   `json:"ready"`
+	// Status is the replica's own /healthz status ("ok", "draining",
+	// "restoring") or "unreachable" when the probe failed.
+	Status   string `json:"status"`
+	Inflight int64  `json:"inflight"`
+}
+
+// healthTracker polls each replica's /healthz and maintains the ready
+// set. A replica is ready while its probe answers 200 — "ok" or
+// "restoring" (a restoring replica serves fine; its warm set is just
+// still filling from the artifact store). "draining" answers 503 and
+// ejects the replica, as does any transport error.
+type healthTracker struct {
+	client   *http.Client
+	replicas []string
+	// onChange fires with the new sorted ready set whenever membership
+	// changes, and with the ejected replicas separately so queued
+	// admissions bound to them can fail fast.
+	onChange func(ready, ejected []string)
+
+	mu     sync.Mutex
+	status map[string]ReplicaHealth
+	ready  []string
+}
+
+func newHealthTracker(replicas []string, client *http.Client, onChange func(ready, ejected []string)) *healthTracker {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	h := &healthTracker{
+		client:   client,
+		replicas: append([]string(nil), replicas...),
+		onChange: onChange,
+		status:   map[string]ReplicaHealth{},
+	}
+	// Until the first poll answers, every configured replica counts as
+	// ready: a front racing its replicas' startup routes optimistically
+	// rather than 503ing the whole fleet.
+	for _, r := range h.replicas {
+		h.status[r] = ReplicaHealth{URL: r, Ready: true, Status: "ok"}
+	}
+	h.ready = append([]string(nil), h.replicas...)
+	sort.Strings(h.ready)
+	return h
+}
+
+// probe fetches one replica's health. Any 200 is ready; the JSON body
+// refines the status label.
+func (h *healthTracker) probe(url string) ReplicaHealth {
+	rh := ReplicaHealth{URL: url, Status: "unreachable"}
+	resp, err := h.client.Get(url + "/healthz")
+	if err != nil {
+		return rh
+	}
+	defer resp.Body.Close()
+	var hj session.HealthJSON
+	if err := json.NewDecoder(resp.Body).Decode(&hj); err == nil && hj.Status != "" {
+		rh.Status = hj.Status
+		rh.Inflight = hj.Inflight
+	} else if resp.StatusCode == http.StatusOK {
+		rh.Status = "ok" // pre-JSON /healthz bodies still mean ready
+	}
+	rh.Ready = resp.StatusCode == http.StatusOK
+	return rh
+}
+
+// poll sweeps every replica once and fires onChange if the ready set
+// moved. Probes run concurrently so one unreachable replica's timeout
+// does not delay the others' verdicts.
+func (h *healthTracker) poll() {
+	results := make([]ReplicaHealth, len(h.replicas))
+	var wg sync.WaitGroup
+	for i, r := range h.replicas {
+		wg.Add(1)
+		go func(i int, r string) {
+			defer wg.Done()
+			results[i] = h.probe(r)
+		}(i, r)
+	}
+	wg.Wait()
+
+	h.mu.Lock()
+	var ready, ejected []string
+	for _, rh := range results {
+		if was := h.status[rh.URL]; was.Ready && !rh.Ready {
+			ejected = append(ejected, rh.URL)
+		}
+		h.status[rh.URL] = rh
+		if rh.Ready {
+			ready = append(ready, rh.URL)
+		}
+	}
+	sort.Strings(ready)
+	changed := !reflect.DeepEqual(ready, h.ready)
+	h.ready = ready
+	h.mu.Unlock()
+	if changed && h.onChange != nil {
+		h.onChange(ready, ejected)
+	}
+}
+
+// run polls at the given interval until ctx is done.
+func (h *healthTracker) run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			h.poll()
+		}
+	}
+}
+
+// snapshot returns every replica's last observed health, sorted by URL.
+func (h *healthTracker) snapshot() []ReplicaHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]ReplicaHealth, 0, len(h.status))
+	for _, rh := range h.status {
+		out = append(out, rh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// readySet returns the current sorted ready replicas.
+func (h *healthTracker) readySet() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.ready...)
+}

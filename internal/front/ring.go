@@ -1,0 +1,139 @@
+// Package front is the horizontal serving layer: an HTTP front door
+// that makes a fleet of cfc-serve replicas look like one server. It
+// routes campaign batches by session fingerprint over a consistent-hash
+// ring (so repeated campaigns on the same configuration land on the
+// replica that already holds the warm session), applies per-tenant
+// weighted-fair admission control with bounded queues and per-replica
+// in-flight caps, and can fan one campaign out across replicas as
+// contiguous sample shards whose merged report is byte-identical to a
+// single-server run (inject.MergeReports).
+package front
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/fp"
+)
+
+// DefaultVnodes is the virtual-node count per replica: enough points
+// that removing one replica moves only ~1/n of the keyspace and the
+// per-replica share stays within a few percent of even.
+const DefaultVnodes = 64
+
+// hash64 maps a string onto the ring's keyspace via the tree-wide
+// content hash (fp.Hash is SHA-256, so the points spread uniformly and
+// the mapping is stable across processes and builds).
+func hash64(s string) uint64 {
+	h := fp.NewHash()
+	h.String(s)
+	v, _ := strconv.ParseUint(h.Sum()[:16], 16, 64)
+	return v
+}
+
+// point is one virtual node: a position on the ring owned by a replica.
+type point struct {
+	hash    uint64
+	replica string
+}
+
+// Ring is an immutable consistent-hash ring over a replica set.
+// Membership changes (a replica joining or draining) build a new Ring;
+// lookups on the old one stay valid, so swaps are a single pointer
+// store for the caller.
+type Ring struct {
+	points   []point
+	replicas []string // distinct members, sorted
+}
+
+// NewRing places vnodes virtual nodes per replica (0 = DefaultVnodes).
+// An empty replica set yields a ring whose lookups return "".
+func NewRing(replicas []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, rep := range replicas {
+		if rep == "" || seen[rep] {
+			continue
+		}
+		seen[rep] = true
+		r.replicas = append(r.replicas, rep)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash64(rep + "#" + strconv.Itoa(v)), rep})
+		}
+	}
+	sort.Strings(r.replicas)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].replica < r.points[j].replica
+	})
+	return r
+}
+
+// Replicas returns the ring's distinct members, sorted.
+func (r *Ring) Replicas() []string { return r.replicas }
+
+// Owner returns the replica owning key: the first virtual node at or
+// clockwise of the key's hash. When several replicas collide on that
+// exact ring position, the tie breaks rendezvous-style — highest
+// hash64(key@replica) wins — so a tie never resolves differently on two
+// fronts and never flips when an uninvolved replica leaves.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct replicas for key in preference order:
+// the owner first, then the successors a fan-out spreads shards over
+// (or a failover tries next). Fewer than n replicas returns them all.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.replicas) {
+		n = len(r.replicas)
+	}
+	kh := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	if start == len(r.points) {
+		start = 0
+	}
+	var owners []string
+	have := map[string]bool{}
+	add := func(rep string) {
+		if !have[rep] {
+			have[rep] = true
+			owners = append(owners, rep)
+		}
+	}
+	// Rendezvous tie-break across every point sharing the landing hash.
+	if first := r.points[start].hash; start+1 < len(r.points) && r.points[start+1].hash == first {
+		end := start
+		for end < len(r.points) && r.points[end].hash == first {
+			end++
+		}
+		tied := append([]point(nil), r.points[start:end]...)
+		sort.Slice(tied, func(i, j int) bool {
+			hi, hj := hash64(key+"@"+tied[i].replica), hash64(key+"@"+tied[j].replica)
+			if hi != hj {
+				return hi > hj
+			}
+			return tied[i].replica < tied[j].replica
+		})
+		for _, p := range tied {
+			add(p.replica)
+		}
+		start = end % len(r.points)
+	}
+	for i := 0; len(owners) < n && i < len(r.points); i++ {
+		add(r.points[(start+i)%len(r.points)].replica)
+	}
+	return owners
+}

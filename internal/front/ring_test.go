@@ -1,0 +1,101 @@
+package front
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Owner is deterministic, and every key lands on a member.
+func TestRingOwnerDeterministic(t *testing.T) {
+	reps := []string{"http://a", "http://b", "http://c"}
+	r1 := NewRing(reps, 0)
+	r2 := NewRing([]string{"http://c", "http://a", "http://b"}, 0) // order-insensitive
+	member := map[string]bool{}
+	for _, rep := range reps {
+		member[rep] = true
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("164.gzip|0.05|RCF|||%d", i)
+		o := r1.Owner(key)
+		if !member[o] {
+			t.Fatalf("key %q owned by non-member %q", key, o)
+		}
+		if o2 := r2.Owner(key); o2 != o {
+			t.Fatalf("key %q: owner differs with construction order: %q vs %q", key, o, o2)
+		}
+	}
+}
+
+// Removing one replica only re-routes the keys it owned: everything
+// else keeps its home (the consistent-hash property warm sessions rely
+// on during churn).
+func TestRingMinimalDisruption(t *testing.T) {
+	all := []string{"http://a", "http://b", "http://c"}
+	full := NewRing(all, 0)
+	without := NewRing(all[:2], 0) // c leaves
+
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("session|%d", i)
+		before, after := full.Owner(key), without.Owner(key)
+		if before == "http://c" {
+			if after == "http://c" {
+				t.Fatalf("key %q still owned by removed replica", key)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved from %q to %q though its owner stayed", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// Every replica owns a reasonable share: with vnodes smoothing, no
+// member should be starved or hold a large majority.
+func TestRingBalance(t *testing.T) {
+	reps := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(reps, 0)
+	counts := map[string]int{}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, rep := range reps {
+		share := float64(counts[rep]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("replica %s owns %.0f%% of keys (counts %v)", rep, share*100, counts)
+		}
+	}
+}
+
+// Owners returns distinct replicas in preference order, the owner first.
+func TestRingOwners(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	owners := r.Owners("some-key", 3)
+	if len(owners) != 3 {
+		t.Fatalf("Owners(3) = %v, want 3 distinct", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("Owners repeats %q: %v", o, owners)
+		}
+		seen[o] = true
+	}
+	if owners[0] != r.Owner("some-key") {
+		t.Fatalf("Owners[0] = %q, Owner = %q", owners[0], r.Owner("some-key"))
+	}
+	// Asking for more than the membership returns them all.
+	if got := r.Owners("some-key", 10); len(got) != 3 {
+		t.Fatalf("Owners(10) = %v, want all 3", got)
+	}
+	// Empty ring: no owners.
+	if got := NewRing(nil, 0).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+}

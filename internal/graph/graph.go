@@ -49,6 +49,10 @@ type CellKey struct {
 	Policy    string
 	Samples   int
 	Seed      int64
+	// SampleOffset distinguishes a shard's cell from the unsharded
+	// campaign's: [offset, offset+samples) classifies differently from
+	// [0, samples) even under the same seed.
+	SampleOffset int
 
 	// Engine identity: the checkpoint interval selects replay vs
 	// checkpoint engine (and the capture spacing), Backend is the resolved
@@ -62,12 +66,15 @@ type CellKey struct {
 // are normalized (auto resolves to its concrete backend, 0 to
 // inject.DefaultMaxSteps) so spellings that run identically share a cell.
 func KeyFor(p *isa.Program, technique, style, policy string, samples int, seed int64,
-	ckptInterval int64, backend comp.Backend, maxSteps uint64) CellKey {
+	sampleOffset int, ckptInterval int64, backend comp.Backend, maxSteps uint64) CellKey {
 	if backend == comp.BackendAuto {
 		backend = comp.BackendCompile
 	}
 	if maxSteps == 0 {
 		maxSteps = inject.DefaultMaxSteps
+	}
+	if sampleOffset < 0 {
+		sampleOffset = 0
 	}
 	return CellKey{
 		Program:      p.Name,
@@ -77,6 +84,7 @@ func KeyFor(p *isa.Program, technique, style, policy string, samples int, seed i
 		Policy:       policy,
 		Samples:      samples,
 		Seed:         seed,
+		SampleOffset: sampleOffset,
 		CkptInterval: ckptInterval,
 		Backend:      backend.String(),
 		MaxSteps:     maxSteps,
@@ -86,9 +94,9 @@ func KeyFor(p *isa.Program, technique, style, policy string, samples int, seed i
 // id renders the version-free key identity: every field including the
 // program hash, but no version knobs.
 func (k CellKey) id() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%s|s%d|n%d|i%d|%s|m%d",
+	return fmt.Sprintf("%s|%s|%s|%s|%s|s%d|n%d|o%d|i%d|%s|m%d",
 		k.Program, k.ProgramHash, k.Technique, k.Style, k.Policy,
-		k.Seed, k.Samples, k.CkptInterval, k.Backend, k.MaxSteps)
+		k.Seed, k.Samples, k.SampleOffset, k.CkptInterval, k.Backend, k.MaxSteps)
 }
 
 // Fingerprint renders the full cell fingerprint embedded in cache
@@ -108,9 +116,9 @@ func (k CellKey) fingerprintAt(engine, technique int) string {
 // edit or version bump finds the old file, decodes it as stale and
 // overwrites in place instead of orphaning it.
 func (k CellKey) fileName() string {
-	readable := fmt.Sprintf("%s|%s|%s|%s|s%d|n%d|i%d|%s|m%d",
+	readable := fmt.Sprintf("%s|%s|%s|%s|s%d|n%d|o%d|i%d|%s|m%d",
 		k.Program, k.Technique, k.Style, k.Policy,
-		k.Seed, k.Samples, k.CkptInterval, k.Backend, k.MaxSteps)
+		k.Seed, k.Samples, k.SampleOffset, k.CkptInterval, k.Backend, k.MaxSteps)
 	return fp.FileName(readable, ".cell")
 }
 

@@ -35,7 +35,7 @@ func testProgram(t *testing.T) *isa.Program {
 
 func testKey(t *testing.T, p *isa.Program) CellKey {
 	t.Helper()
-	return KeyFor(p, "RCF", "CMOVcc", "ALLBB", testSamples, testSeed, -1, comp.BackendAuto, 0)
+	return KeyFor(p, "RCF", "CMOVcc", "ALLBB", testSamples, testSeed, 0, -1, comp.BackendAuto, 0)
 }
 
 // fakeReport builds a small but structurally complete report, enough for
@@ -76,6 +76,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"policy":        func(k *CellKey) { k.Policy = "RET" },
 		"samples":       func(k *CellKey) { k.Samples++ },
 		"seed":          func(k *CellKey) { k.Seed++ },
+		"sample offset": func(k *CellKey) { k.SampleOffset += 10 },
 		"ckpt interval": func(k *CellKey) { k.CkptInterval = 0 },
 		"backend":       func(k *CellKey) { k.Backend = "step" },
 		"max steps":     func(k *CellKey) { k.MaxSteps++ },
@@ -102,8 +103,8 @@ func TestFingerprintSensitivity(t *testing.T) {
 // KeyFor folds spellings that run identically into one cell.
 func TestKeyForNormalizes(t *testing.T) {
 	p := testProgram(t)
-	auto := KeyFor(p, "RCF", "CMOVcc", "ALLBB", 10, 1, -1, comp.BackendAuto, 0)
-	explicit := KeyFor(p, "RCF", "CMOVcc", "ALLBB", 10, 1, -1, comp.BackendCompile, inject.DefaultMaxSteps)
+	auto := KeyFor(p, "RCF", "CMOVcc", "ALLBB", 10, 1, 0, -1, comp.BackendAuto, 0)
+	explicit := KeyFor(p, "RCF", "CMOVcc", "ALLBB", 10, 1, 0, -1, comp.BackendCompile, inject.DefaultMaxSteps)
 	if auto != explicit {
 		t.Errorf("auto spelling %+v != explicit spelling %+v", auto, explicit)
 	}

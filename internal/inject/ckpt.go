@@ -189,7 +189,7 @@ func runCkptSamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Repor
 				return err
 			}
 			i := order[j]
-			runCkptSample(cfg, snap, base, log, r, li, tech, c, faults[i], points[i], i, want, &results[i])
+			runCkptSample(cfg, snap, base, log, r, li, tech, c, faults[i], points[i], cfg.SampleOffset+i, want, &results[i])
 			dumpFlightDBT(cfg, snap, p.Name, tech, i, want, &results[i])
 			observeProgress(cfg.Progress, w, &results[i])
 		}
@@ -312,7 +312,7 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, se 
 	faults := make([]*cpu.Fault, cfgn.Samples)
 	points := make([]int, cfgn.Samples)
 	for i := range faults {
-		rng := newSampleRNG(cfgn.Seed, i)
+		rng := newSampleRNG(cfgn.Seed, cfgn.SampleOffset+i)
 		faults[i] = deriveBranchFault(&rng, branches)
 		points[i] = sitePoint(log, faults[i])
 	}
@@ -365,7 +365,7 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, se 
 			observeRestore(c, label, restored, m.Steps-restored, short)
 			if short != shortNone {
 				rec := Record{
-					Sample:   i,
+					Sample:   cfgn.SampleOffset + i,
 					Fault:    *f,
 					Outcome:  OutBenign,
 					Category: classifyStaticCategory(g, f),
@@ -386,7 +386,7 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, se 
 				continue
 			}
 			rec := Record{
-				Sample:   i,
+				Sample:   cfgn.SampleOffset + i,
 				Fault:    *f,
 				Outcome:  classifyStaticOutcome(stop, m.Output, want),
 				Category: classifyStaticCategory(g, f),
@@ -394,7 +394,7 @@ func runStaticCkptSamples(ctx context.Context, p *isa.Program, g *cfg.Graph, se 
 			if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
 				rec.Latency = m.Steps - f.FiredStep
 				cfgn.Trace.Emit(obs.Event{
-					Kind: obs.EvErrorDetected, Sample: obs.SampleRef(i),
+					Kind: obs.EvErrorDetected, Sample: obs.SampleRef(cfgn.SampleOffset + i),
 					Value:  int64(rec.Latency),
 					Detail: rec.Outcome.String() + "/" + rec.Category.String(),
 				})

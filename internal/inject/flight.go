@@ -78,6 +78,7 @@ func dumpFlightDBT(cfg *Config, snap *dbt.Snapshot, program, tech string, i int,
 	if cfg.Flight == nil || !s.fired || !anomalous(s.rec.Outcome) {
 		return
 	}
+	g := cfg.SampleOffset + i // dumps are keyed by the global sample index
 	f := plannedOnly(s.rec.Fault)
 	ring := obs.NewRing(cfg.Flight.Depth())
 	sd := snap.NewDBT()
@@ -91,8 +92,8 @@ func dumpFlightDBT(cfg *Config, snap *dbt.Snapshot, program, tech string, i int,
 	}
 	ring.Append(obs.Event{Kind: obs.EvStop, Step: res.Steps, Addr: res.Stop.IP, Detail: res.Stop.String()})
 	cfg.Flight.Dump(obs.FlightDump{
-		Sample:     i,
-		SampleSeed: sampleSeed(cfg.Seed, i),
+		Sample:     g,
+		SampleSeed: sampleSeed(cfg.Seed, g),
 		Program:    program,
 		Technique:  tech,
 		Outcome:    s.rec.Outcome.String(),
@@ -110,6 +111,7 @@ func dumpFlightStatic(cfgn *Config, p *isa.Program, label string, i int, want []
 	if cfgn.Flight == nil || !s.fired || !anomalous(s.rec.Outcome) {
 		return
 	}
+	g := cfgn.SampleOffset + i // dumps are keyed by the global sample index
 	f := plannedOnly(s.rec.Fault)
 	ring := obs.NewRing(cfgn.Flight.Depth())
 	m := cpu.New()
@@ -122,8 +124,8 @@ func dumpFlightStatic(cfgn *Config, p *isa.Program, label string, i int, want []
 	}
 	ring.Append(obs.Event{Kind: obs.EvStop, Step: m.Steps, Addr: stop.IP, Detail: stop.String()})
 	cfgn.Flight.Dump(obs.FlightDump{
-		Sample:     i,
-		SampleSeed: sampleSeed(cfgn.Seed, i),
+		Sample:     g,
+		SampleSeed: sampleSeed(cfgn.Seed, g),
 		Program:    p.Name,
 		Technique:  label,
 		Outcome:    s.rec.Outcome.String(),

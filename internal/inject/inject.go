@@ -99,9 +99,13 @@ type Report struct {
 	Technique string
 	Policy    dbt.Policy
 	Samples   int
-	NotFired  int
-	ByCat     map[errmodel.Category]*Agg
-	Totals    Agg
+	// SampleOffset is the campaign's first global sample index
+	// (Config.SampleOffset); Records carry global indices. MergeReports
+	// uses it to validate that shards tile a contiguous range.
+	SampleOffset int
+	NotFired     int
+	ByCat        map[errmodel.Category]*Agg
+	Totals       Agg
 	// LatencySum/LatencyN give the mean detection latency.
 	LatencySum uint64
 	LatencyN   int
@@ -120,6 +124,13 @@ type Report struct {
 	// synthesized tail executes no blocks), so — like Workers and Elapsed
 	// — FormatNormalized excludes them.
 	Compiled comp.Stats
+	// WarmTranslator/WarmCompiled are the warm-up baselines already folded
+	// into Translator/Compiled (the snapshot's stats, or the static
+	// freeze). Every shard of a split campaign repeats the identical
+	// warm-up, so MergeReports subtracts the baseline from all shards but
+	// the first to count it exactly once, as the unsharded run would.
+	WarmTranslator dbt.Stats
+	WarmCompiled   comp.Stats
 	// Workers is the resolved worker count that ran the campaign and
 	// Elapsed the wall-clock of the injection phase (warm-up excluded).
 	// Neither influences the classified results.
@@ -215,6 +226,13 @@ type Config struct {
 	Policy    dbt.Policy
 	Samples   int
 	Seed      int64
+	// SampleOffset shifts the campaign onto the global sample range
+	// [SampleOffset, SampleOffset+Samples): sample-local index i derives
+	// its fault from global index SampleOffset+i, exactly as the unsharded
+	// campaign would. Shards of one large campaign run with the same Seed
+	// and disjoint contiguous offsets, and MergeReports reassembles their
+	// reports into the unsharded report byte-for-byte.
+	SampleOffset int
 	// MaxSteps bounds each run (hang detection). Default DefaultMaxSteps.
 	MaxSteps uint64
 	// KeepRecords retains every Record in the Report.
@@ -238,15 +256,19 @@ func (cfg *Config) applyDefaults() {
 	if cfg.Samples <= 0 {
 		cfg.Samples = 100
 	}
+	if cfg.SampleOffset < 0 {
+		cfg.SampleOffset = 0
+	}
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = DefaultMaxSteps
 	}
 }
 
 // deriveFault builds sample index's fault as a pure function of the
-// campaign seed, the sample index and the clean-run geometry.
+// campaign seed, the global sample index (the local index shifted by
+// SampleOffset) and the clean-run geometry.
 func deriveFault(cfg *Config, index int, branches, steps uint64) *cpu.Fault {
-	rng := newSampleRNG(cfg.Seed, index)
+	rng := newSampleRNG(cfg.Seed, cfg.SampleOffset+index)
 	if cfg.RegFaults {
 		return &cpu.Fault{
 			Kind:      cpu.FaultRegBit,
@@ -405,15 +427,18 @@ func techName(t dbt.Technique) string {
 func (cfg Config) runWarm(ctx context.Context, p *isa.Program, snap *dbt.Snapshot, cleanSteps uint64, log *ckpt.Log) (*Report, error) {
 	tech := techName(cfg.Technique)
 	rep := &Report{
-		Program:   p.Name,
-		Technique: tech,
-		Policy:    cfg.Policy,
-		Samples:   cfg.Samples,
-		ByCat:     map[errmodel.Category]*Agg{},
-		Workers:   par.Workers(cfg.Workers, cfg.Samples),
+		Program:      p.Name,
+		Technique:    tech,
+		Policy:       cfg.Policy,
+		Samples:      cfg.Samples,
+		SampleOffset: cfg.SampleOffset,
+		ByCat:        map[errmodel.Category]*Agg{},
+		Workers:      par.Workers(cfg.Workers, cfg.Samples),
 	}
 	rep.Translator = snap.Stats() // warm-up work; merge adds per-sample deltas
 	rep.Compiled = snap.CompStats()
+	rep.WarmTranslator = rep.Translator
+	rep.WarmCompiled = rep.Compiled
 
 	cfg.Trace.Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: p.Name + "/" + tech})
 	cfg.Progress.Begin(cfg.Samples, rep.Workers, progressLabels())
@@ -477,7 +502,7 @@ func runReplaySamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Rep
 			return nil
 		}
 		rec := Record{
-			Sample:   i,
+			Sample:   cfg.SampleOffset + i,
 			Fault:    *f,
 			Outcome:  classifyOutcome(res, want),
 			Category: classifyCategory(sd, f),
@@ -486,7 +511,7 @@ func runReplaySamples(ctx context.Context, p *isa.Program, cfg *Config, rep *Rep
 			rec.Latency = res.Steps - f.FiredStep
 			if cfg.Trace != nil {
 				cfg.Trace.Emit(obs.Event{
-					Kind: obs.EvErrorDetected, Sample: obs.SampleRef(i),
+					Kind: obs.EvErrorDetected, Sample: obs.SampleRef(cfg.SampleOffset + i),
 					Value:  int64(rec.Latency),
 					Detail: rec.Outcome.String() + "/" + rec.Category.String(),
 				})

@@ -143,12 +143,13 @@ func (cfgn Config) runStaticWarm(ctx context.Context, p *isa.Program, label stri
 	}
 
 	rep := &Report{
-		Program:   p.Name,
-		Technique: label,
-		Policy:    cfgn.Policy,
-		Samples:   cfgn.Samples,
-		ByCat:     map[errmodel.Category]*Agg{},
-		Workers:   par.Workers(cfgn.Workers, cfgn.Samples),
+		Program:      p.Name,
+		Technique:    label,
+		Policy:       cfgn.Policy,
+		Samples:      cfgn.Samples,
+		SampleOffset: cfgn.SampleOffset,
+		ByCat:        map[errmodel.Category]*Agg{},
+		Workers:      par.Workers(cfgn.Workers, cfgn.Samples),
 	}
 	cfgn.Trace.Emit(obs.Event{Kind: obs.EvCampaignStart, Detail: p.Name + "/" + label})
 	cfgn.Progress.Begin(cfgn.Samples, rep.Workers, progressLabels())
@@ -156,6 +157,7 @@ func (cfgn Config) runStaticWarm(ctx context.Context, p *isa.Program, label stri
 	results := make([]sampleResult, cfgn.Samples)
 	se := newStaticExec(p, g, cfgn.Backend)
 	rep.Compiled = se.baseline()
+	rep.WarmCompiled = rep.Compiled
 	if cfgn.CkptInterval != 0 {
 		// Checkpoint engine: the native recording run doubles as the clean
 		// reference (native execution is trivially deterministic, so its
@@ -176,7 +178,7 @@ func (cfgn Config) runStaticWarm(ctx context.Context, p *isa.Program, label stri
 	err := par.ForEachShardCtx(ctx, cfgn.Samples, rep.Workers, func(w, i int) error {
 		defer observeProgress(cfgn.Progress, w, &results[i])
 		defer dumpFlightStatic(&cfgn, p, label, i, want, &results[i])
-		rng := newSampleRNG(cfgn.Seed, i)
+		rng := newSampleRNG(cfgn.Seed, cfgn.SampleOffset+i)
 		f := deriveBranchFault(&rng, branches)
 		m := cpu.New()
 		m.Reset(p)
@@ -192,7 +194,7 @@ func (cfgn Config) runStaticWarm(ctx context.Context, p *isa.Program, label stri
 			return nil
 		}
 		rec := Record{
-			Sample:   i,
+			Sample:   cfgn.SampleOffset + i,
 			Fault:    *f,
 			Outcome:  classifyStaticOutcome(stop, m.Output, want),
 			Category: classifyStaticCategory(g, f),
@@ -200,7 +202,7 @@ func (cfgn Config) runStaticWarm(ctx context.Context, p *isa.Program, label stri
 		if rec.Outcome == OutDetectedSW || rec.Outcome == OutDetectedHW {
 			rec.Latency = m.Steps - f.FiredStep
 			cfgn.Trace.Emit(obs.Event{
-				Kind: obs.EvErrorDetected, Sample: obs.SampleRef(i),
+				Kind: obs.EvErrorDetected, Sample: obs.SampleRef(cfgn.SampleOffset + i),
 				Value:  int64(rec.Latency),
 				Detail: rec.Outcome.String() + "/" + rec.Category.String(),
 			})

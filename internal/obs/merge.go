@@ -48,6 +48,63 @@ func (r *Registry) Merge(s *Snapshot) {
 	}
 }
 
+// Merge folds another snapshot into s with the same commutative
+// operations as Registry.Merge — counters add, gauges keep the maximum,
+// histograms add bucket by bucket when their bounds agree (and are
+// skipped otherwise), spans add runs and wall-clock. It is the
+// cross-process form: a front door polls each replica's /v1/metrics
+// snapshot and folds them into one fleet-wide view without needing a
+// live registry. A nil other is a no-op; maps are allocated on demand so
+// the zero Snapshot is a valid accumulator.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if s == nil || other == nil {
+		return
+	}
+	if len(other.Counters) > 0 && s.Counters == nil {
+		s.Counters = map[string]uint64{}
+	}
+	for n, v := range other.Counters {
+		s.Counters[n] += v
+	}
+	if len(other.Gauges) > 0 && s.Gauges == nil {
+		s.Gauges = map[string]int64{}
+	}
+	for n, v := range other.Gauges {
+		if cur, ok := s.Gauges[n]; !ok || v > cur {
+			s.Gauges[n] = v
+		}
+	}
+	if len(other.Histograms) > 0 && s.Histograms == nil {
+		s.Histograms = map[string]HistSnapshot{}
+	}
+	for n, oh := range other.Histograms {
+		h, ok := s.Histograms[n]
+		if !ok {
+			h = HistSnapshot{
+				Bounds: append([]uint64(nil), oh.Bounds...),
+				Counts: make([]uint64, len(oh.Counts)),
+			}
+		} else if len(h.Counts) != len(oh.Counts) {
+			continue // different bounds: skip rather than corrupt
+		}
+		for i, ct := range oh.Counts {
+			h.Counts[i] += ct
+		}
+		h.Sum += oh.Sum
+		h.Count += oh.Count
+		s.Histograms[n] = h
+	}
+	if len(other.Spans) > 0 && s.Spans == nil {
+		s.Spans = map[string]SpanSnapshot{}
+	}
+	for n, osp := range other.Spans {
+		sp := s.Spans[n]
+		sp.Count += osp.Count
+		sp.Seconds += osp.Seconds
+		s.Spans[n] = sp
+	}
+}
+
 // mergeSpan folds an aggregate (count runs totalling d) into a span
 // series, the multi-run counterpart of RecordSpan.
 func (r *Registry) mergeSpan(series string, count uint64, d time.Duration) {

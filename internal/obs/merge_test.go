@@ -48,6 +48,53 @@ func TestRegistryMergeNilSafe(t *testing.T) {
 	NewRegistry().Merge(nil)
 }
 
+// Snapshot.Merge must agree with Registry.Merge: folding replica
+// snapshots into a zero accumulator yields the same series a live
+// registry would have produced from the same merges.
+func TestSnapshotMerge(t *testing.T) {
+	mk := func(c uint64, g int64) *Snapshot {
+		r := NewRegistry()
+		r.Counter("c").Add(c)
+		r.Gauge("g").Max(g)
+		r.Histogram("h", []uint64{1, 2}).Observe(c)
+		r.RecordSpan(`p{phase="x"}`, time.Second)
+		return r.Snapshot()
+	}
+
+	var acc Snapshot // zero value is a valid accumulator
+	acc.Merge(mk(3, 7))
+	acc.Merge(mk(1, 9))
+	acc.Merge(nil) // no-op
+
+	ref := NewRegistry()
+	ref.Merge(mk(3, 7))
+	ref.Merge(mk(1, 9))
+	want := ref.Snapshot()
+
+	if !reflect.DeepEqual(acc.Counters, want.Counters) {
+		t.Errorf("counters = %v, want %v", acc.Counters, want.Counters)
+	}
+	if !reflect.DeepEqual(acc.Gauges, want.Gauges) {
+		t.Errorf("gauges = %v, want %v (max, not sum)", acc.Gauges, want.Gauges)
+	}
+	if !reflect.DeepEqual(acc.Histograms, want.Histograms) {
+		t.Errorf("histograms = %v, want %v", acc.Histograms, want.Histograms)
+	}
+	sp := acc.Spans[`p{phase="x"}`]
+	if sp.Count != 2 || sp.Seconds < 1.9 || sp.Seconds > 2.1 {
+		t.Errorf("span = %+v, want count 2 seconds ~2", sp)
+	}
+
+	// Mismatched histogram bounds skip rather than corrupt.
+	odd := NewRegistry()
+	odd.Histogram("h", []uint64{1}).Observe(1)
+	before := acc.Histograms["h"]
+	acc.Merge(odd.Snapshot())
+	if !reflect.DeepEqual(acc.Histograms["h"], before) {
+		t.Errorf("mismatched-bounds merge changed the histogram: %+v", acc.Histograms["h"])
+	}
+}
+
 func TestRegistryMergeMismatchedBoundsSkips(t *testing.T) {
 	src := NewRegistry()
 	src.Histogram("h", []uint64{1}).Observe(1)

@@ -56,6 +56,21 @@ func (l Limits) CheckSamples(n int) error {
 	return nil
 }
 
+// CheckSampleRange validates one campaign's global sample range
+// [offset, offset+n) — the sharded form; offset 0 is a plain campaign.
+// The whole range must fit the sample bound, so a fleet of shards can
+// never address more global samples than one direct campaign could.
+func (l Limits) CheckSampleRange(offset, n int) error {
+	if err := l.CheckSamples(n); err != nil {
+		return err
+	}
+	l = l.withDefaults()
+	if offset < 0 || offset+n > l.MaxSamples {
+		return fmt.Errorf("sample range [%d, %d) out of range [0, %d]", offset, offset+n, l.MaxSamples)
+	}
+	return nil
+}
+
 // CheckScale validates a workload dynamic scale.
 func (l Limits) CheckScale(s float64) error {
 	l = l.withDefaults()

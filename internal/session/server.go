@@ -40,6 +40,85 @@ type Server struct {
 	seq      int
 	batches  map[string]*batchProgress
 	batchIDs []string // registration order, oldest first
+
+	// Drain state: StartDrain flips draining, after which Begin fails fast
+	// with a JSON 503 instead of admitting new work, and DrainWait blocks
+	// until every admitted request releases. draining is guarded by drainMu
+	// (not mu) so a drain check never contends with batch registration.
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+	running  atomic.Int64 // admitted and not yet released, for /healthz
+}
+
+// Begin admits one work-carrying request (a campaign batch or a bench
+// run). When the server is draining it writes the shared JSON 503 with a
+// Retry-After hint and returns ok=false; otherwise the caller must defer
+// the returned release. Read-only routes (progress, sessions, metrics,
+// health) stay open during a drain and skip Begin.
+func (s *Server) Begin(w http.ResponseWriter) (release func(), ok bool) {
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		WriteError(w, http.StatusServiceUnavailable, "draining: not accepting new campaigns")
+		return nil, false
+	}
+	// Add under the mutex so it cannot race a StartDrain+DrainWait pair
+	// (Add-after-Wait is the classic WaitGroup misuse).
+	s.inflight.Add(1)
+	s.drainMu.Unlock()
+	s.running.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.running.Add(-1)
+			s.inflight.Done()
+		})
+	}, true
+}
+
+// StartDrain stops admitting new work: subsequent Begin calls fail fast
+// with a JSON 503. In-flight requests keep running; pair with DrainWait.
+func (s *Server) StartDrain() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+}
+
+// DrainWait blocks until every admitted request has released. Call after
+// StartDrain; with new admissions refused the wait can only shrink.
+func (s *Server) DrainWait() { s.inflight.Wait() }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// HealthJSON is the GET /healthz body. Status is "ok", "draining" (the
+// server refuses new campaigns; the HTTP status is 503 so load-balancer
+// probes eject the replica) or "restoring" (the artifact tier is
+// populating the warm set — still ready, so the status stays 200).
+type HealthJSON struct {
+	Status   string `json:"status"`
+	Inflight int64  `json:"inflight"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := HealthJSON{Status: "ok", Inflight: s.running.Load()}
+	code := http.StatusOK
+	if s.Registry != nil && s.Registry.Restoring() {
+		h.Status = "restoring"
+	}
+	if s.Draining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(h)
 }
 
 // maxTrackedBatches bounds the progress map: finished batches stay
@@ -94,21 +173,31 @@ type Request struct {
 	// single "progress" key) into the NDJSON stream at the given interval.
 	// Opt-in, so default streams stay records-only and byte-comparable.
 	ProgressMs int `json:"progress_ms"`
+	// ReturnReport attaches the structured report to each record
+	// (report_struct), so a fan-out front can merge shard reports
+	// (inject.MergeReports) without re-parsing the normalized text.
+	ReturnReport bool `json:"return_report"`
 }
 
 // SpecJSON is one campaign of a batch.
 type SpecJSON struct {
 	Seed    int64 `json:"seed"`
 	Samples int   `json:"samples"`
+	// SampleOffset makes the campaign one shard of a fanned-out run: it
+	// executes global samples [SampleOffset, SampleOffset+Samples) (see
+	// inject.Config.SampleOffset).
+	SampleOffset int `json:"sample_offset,omitempty"`
 }
 
 // RecordJSON is one line of the NDJSON response stream.
 type RecordJSON struct {
-	Index     int    `json:"index"`
-	Seed      int64  `json:"seed"`
-	Samples   int    `json:"samples"`
-	Program   string `json:"program,omitempty"`
-	Technique string `json:"technique,omitempty"`
+	Index   int   `json:"index"`
+	Seed    int64 `json:"seed"`
+	Samples int   `json:"samples"`
+	// SampleOffset echoes the shard's first global sample index.
+	SampleOffset int    `json:"sample_offset,omitempty"`
+	Program      string `json:"program,omitempty"`
+	Technique    string `json:"technique,omitempty"`
 	// Error aborts the stream: the failing campaign's record is the last.
 	Error       string         `json:"error,omitempty"`
 	NotFired    int            `json:"not_fired"`
@@ -131,6 +220,10 @@ type RecordJSON struct {
 	// classified results are byte-identical to an executed run, but no
 	// samples actually executed (Workers and ElapsedSec read zero).
 	Cached bool `json:"cached,omitempty"`
+	// ReportStruct is the full structured report, attached only when the
+	// request set return_report: the merge-ready form a fan-out front
+	// feeds to inject.MergeReports.
+	ReportStruct *inject.Report `json:"report_struct,omitempty"`
 }
 
 // Handler returns the API mux:
@@ -139,8 +232,9 @@ type RecordJSON struct {
 //	GET  /v1/campaigns/{id}/progress  poll a running batch's progress
 //	GET  /v1/sessions                 list the warm sessions
 //	GET  /v1/version                  build and environment info
+//	GET  /v1/metrics                  metrics snapshot as JSON (machine-mergeable)
 //	GET  /metrics                     Prometheus text exposition
-//	GET  /healthz                     liveness probe
+//	GET  /healthz                     readiness: ok / draining (503) / restoring
 //
 // extra routes mount on the same mux, behind the same server instance —
 // the one place every served surface registers, so request bounds
@@ -152,11 +246,9 @@ func (s *Server) Handler(extra ...Route) http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /v1/sessions", s.handleSessions)
 	mux.HandleFunc("GET /v1/version", handleVersion)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetricsJSON)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
 	for _, r := range extra {
 		mux.Handle(r.Pattern, r.Handler)
 	}
@@ -237,6 +329,11 @@ func handleVersion(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
+	release, ok := s.Begin(w)
+	if !ok {
+		return
+	}
+	defer release()
 	var body Request
 	dec := json.NewDecoder(req.Body)
 	dec.DisallowUnknownFields()
@@ -261,7 +358,7 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	for _, c := range body.Campaigns {
-		if err := s.Limits.CheckSamples(c.Samples); err != nil {
+		if err := s.Limits.CheckSampleRange(c.SampleOffset, c.Samples); err != nil {
 			WriteError(w, http.StatusBadRequest, "bad request: %v", err)
 			return
 		}
@@ -350,13 +447,17 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 	opts := core.Options{Metrics: s.Metrics, Workers: body.Workers, Progress: bp.tracker}
 	for i, c := range body.Campaigns {
 		bp.campaign.Store(int64(i))
-		rec := RecordJSON{Index: i, Seed: c.Seed, Samples: c.Samples}
-		rep, cached, err := s.Registry.RunCell(ctx, k, Spec{Samples: c.Samples, Seed: c.Seed}, opts)
+		rec := RecordJSON{Index: i, Seed: c.Seed, Samples: c.Samples, SampleOffset: c.SampleOffset}
+		rep, cached, err := s.Registry.RunCell(ctx, k,
+			Spec{Samples: c.Samples, Seed: c.Seed, SampleOffset: c.SampleOffset}, opts)
 		if err != nil {
 			rec.Error = err.Error()
 		} else {
-			fillRecord(&rec, rep)
+			FillRecord(&rec, rep)
 			rec.Cached = cached
+			if body.ReturnReport {
+				rec.ReportStruct = rep
+			}
 		}
 		if encErr := emit(rec); encErr != nil {
 			return // client went away
@@ -367,11 +468,14 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
-// fillRecord projects a report onto the wire record.
-func fillRecord(rec *RecordJSON, rep *inject.Report) {
+// FillRecord projects a report onto the wire record. Exported so a
+// fan-out front can render a merged report as the same record shape the
+// replicas stream.
+func FillRecord(rec *RecordJSON, rep *inject.Report) {
 	rec.Program = rep.Program
 	rec.Technique = rep.Technique
 	rec.Samples = rep.Samples
+	rec.SampleOffset = rep.SampleOffset
 	rec.NotFired = rep.NotFired
 	rec.Coverage = rep.Totals.Coverage()
 	rec.MeanLatency = rep.MeanLatency()
@@ -399,6 +503,19 @@ func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(struct {
 		Sessions []Info `json:"sessions"`
 	}{s.Registry.List()})
+}
+
+// handleMetricsJSON serves the registry snapshot as JSON: the
+// machine-readable twin of /metrics, which a front door polls per
+// replica and merges (obs.Snapshot.Merge) into fleet-wide series.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	if s.Metrics == nil {
+		WriteError(w, http.StatusNotFound, "metrics disabled")
+		return
+	}
+	obs.PublishRuntime(s.Metrics)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Metrics.Snapshot())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

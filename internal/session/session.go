@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/artifact"
 	"repro/internal/check"
@@ -108,6 +109,10 @@ func (s *Session) CleanSteps() uint64 { return s.cleanSteps }
 type Spec struct {
 	Samples int
 	Seed    int64
+	// SampleOffset shifts the campaign onto global sample range
+	// [SampleOffset, SampleOffset+Samples) — one shard of a fanned-out
+	// campaign (see inject.Config.SampleOffset).
+	SampleOffset int
 }
 
 // Run executes one campaign on the warm session. opts carries the
@@ -116,9 +121,10 @@ type Spec struct {
 // byte-identical to a cold cfc-inject run of the same configuration.
 func (s *Session) Run(ctx context.Context, spec Spec, opts core.Options) (*inject.Report, error) {
 	cfg := inject.Config{
-		Samples: spec.Samples,
-		Seed:    spec.Seed,
-		Options: opts,
+		Samples:      spec.Samples,
+		Seed:         spec.Seed,
+		SampleOffset: spec.SampleOffset,
+		Options:      opts,
 	}
 	cfg.CkptInterval = s.Key.CkptInterval
 	var rep *inject.Report
@@ -173,6 +179,11 @@ type Config struct {
 // builds across sessions of the same (workload, scale).
 type Registry struct {
 	cfg Config
+
+	// restoring counts in-flight artifact-tier restores, surfaced by the
+	// health endpoint so a front door can tell "warming from the store"
+	// apart from plain readiness.
+	restoring atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[Key]*entry
@@ -283,7 +294,7 @@ func (r *Registry) RunCell(ctx context.Context, k Key, spec Spec, opts core.Opti
 		return nil, false, err
 	}
 	ck := graph.KeyFor(prog, k.Technique, k.Style, k.Policy, spec.Samples, spec.Seed,
-		k.CkptInterval, opts.Backend, r.cfg.MaxSteps)
+		spec.SampleOffset, k.CkptInterval, opts.Backend, r.cfg.MaxSteps)
 	return g.Run(ck, opts.Metrics, func(m *obs.Registry) (*inject.Report, error) {
 		sess, err := r.Session(ctx, k)
 		if err != nil {
@@ -541,6 +552,8 @@ func (r *Registry) restoreSession(s *Session, afp string, base *isa.Program) boo
 	if afp == "" {
 		return false
 	}
+	r.restoring.Add(1)
+	defer r.restoring.Add(-1)
 	a := r.cfg.Artifacts.Fetch(afp)
 	if a == nil {
 		return false
@@ -735,6 +748,10 @@ func (r *Registry) List() []Info {
 	}
 	return infos
 }
+
+// Restoring reports whether any session build is currently pulling a warm
+// artifact from the tier (populating the warm set from the store).
+func (r *Registry) Restoring() bool { return r.restoring.Load() > 0 }
 
 // Len returns the number of warm (or building) sessions.
 func (r *Registry) Len() int {
